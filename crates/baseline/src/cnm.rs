@@ -1,0 +1,193 @@
+//! Clauset–Newman–Moore greedy modularity agglomeration.
+//!
+//! The sequential algorithm the paper's matching replaces: keep a priority
+//! queue of merge deltas, repeatedly merge the single globally best pair.
+//! Lazy invalidation: each community carries a stamp bumped on merge; queue
+//! entries recording older stamps are discarded on pop.
+
+use pcd_graph::{Csr, Graph};
+use pcd_metrics::modularity::delta_modularity;
+use pcd_util::{VertexId, Weight};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug)]
+struct Entry {
+    dq: f64,
+    a: u32,
+    b: u32,
+    stamp_a: u32,
+    stamp_b: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.dq
+            .total_cmp(&other.dq)
+            .then(self.a.cmp(&other.a))
+            .then(self.b.cmp(&other.b))
+    }
+}
+
+/// Runs CNM to the modularity local maximum; returns the assignment
+/// (dense community ids per vertex).
+pub fn cnm(g: &Graph) -> Vec<VertexId> {
+    let csr = Csr::from_graph(g);
+    let nv = csr.num_vertices();
+    let m = g.total_weight();
+    if nv == 0 || m == 0 {
+        return (0..nv as u32).collect();
+    }
+
+    // Community state; communities are identified by their current root id.
+    let mut parent: Vec<u32> = (0..nv as u32).collect();
+    let mut stamp: Vec<u32> = vec![0; nv];
+    let mut vol: Vec<Weight> = (0..nv as u32).map(|v| csr.volume(v)).collect();
+    let mut adj: Vec<HashMap<u32, Weight>> = (0..nv)
+        .map(|v| {
+            let mut h = HashMap::new();
+            for (u, w) in csr.neighbors(v as u32) {
+                if u as usize != v {
+                    *h.entry(u).or_insert(0) += w;
+                }
+            }
+            h
+        })
+        .collect();
+
+    let mut heap = BinaryHeap::new();
+    for v in 0..nv as u32 {
+        for (&u, &w) in &adj[v as usize] {
+            if v < u {
+                let dq = delta_modularity(m, w, vol[v as usize], vol[u as usize]);
+                if dq > 0.0 {
+                    heap.push(Entry { dq, a: v, b: u, stamp_a: 0, stamp_b: 0 });
+                }
+            }
+        }
+    }
+
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            let gp = parent[parent[v as usize] as usize];
+            parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    while let Some(e) = heap.pop() {
+        let (a, b) = (e.a, e.b);
+        // Stale if either community has merged since the entry was pushed.
+        if stamp[a as usize] != e.stamp_a || stamp[b as usize] != e.stamp_b {
+            continue;
+        }
+        if e.dq <= 0.0 {
+            break;
+        }
+        // Merge smaller adjacency into larger (weighted union).
+        let (big, small) = if adj[a as usize].len() >= adj[b as usize].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        parent[small as usize] = big;
+        stamp[a as usize] += 1;
+        stamp[b as usize] += 1;
+        vol[big as usize] += vol[small as usize];
+
+        let small_adj = std::mem::take(&mut adj[small as usize]);
+        for (nbr, w) in small_adj {
+            if nbr == big {
+                continue;
+            }
+            // Rewire nbr: small -> big.
+            if let Some(w_old) = adj[nbr as usize].remove(&small) {
+                debug_assert_eq!(w_old, w);
+            }
+            *adj[nbr as usize].entry(big).or_insert(0) += w;
+            *adj[big as usize].entry(nbr).or_insert(0) += w;
+        }
+        adj[big as usize].remove(&small);
+        adj[big as usize].remove(&big);
+
+        // Fresh queue entries for the merged community.
+        let entries: Vec<(u32, Weight)> =
+            adj[big as usize].iter().map(|(&n, &w)| (n, w)).collect();
+        for (nbr, w) in entries {
+            let dq = delta_modularity(m, w, vol[big as usize], vol[nbr as usize]);
+            if dq > 0.0 {
+                let (x, y) = if big < nbr { (big, nbr) } else { (nbr, big) };
+                heap.push(Entry {
+                    dq,
+                    a: x,
+                    b: y,
+                    stamp_a: stamp[x as usize],
+                    stamp_b: stamp[y as usize],
+                });
+            }
+        }
+    }
+
+    // Resolve roots and compact to dense labels.
+    let roots: Vec<u32> = (0..nv as u32).map(|v| find(&mut parent, v)).collect();
+    pcd_metrics::compact_labels(&roots).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn karate_modularity_near_cnm_published() {
+        let g = pcd_gen::classic::karate_club();
+        let a = cnm(&g);
+        let q = pcd_metrics::modularity(&g, &a);
+        // CNM's published karate modularity is ~0.3807.
+        assert!(q > 0.35, "q = {q}");
+    }
+
+    #[test]
+    fn two_cliques_split_exactly() {
+        let g = pcd_gen::classic::two_cliques(6);
+        let a = cnm(&g);
+        let truth: Vec<u32> = (0..12).map(|v| (v / 6) as u32).collect();
+        let nmi = pcd_metrics::normalized_mutual_information(&a, &truth);
+        assert!(nmi > 0.99, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn clique_ring_recovers_cliques() {
+        let g = pcd_gen::classic::clique_ring(6, 8);
+        let truth = pcd_gen::classic::clique_ring_truth(6, 8);
+        let a = cnm(&g);
+        let nmi = pcd_metrics::normalized_mutual_information(&a, &truth);
+        assert!(nmi > 0.9, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = Graph::empty(4);
+        assert_eq!(cnm(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn never_decreases_modularity_vs_singletons() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(8, 2));
+        let a = cnm(&g);
+        let q = pcd_metrics::modularity(&g, &a);
+        let singles: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        assert!(q >= pcd_metrics::modularity(&g, &singles));
+    }
+}

@@ -1,0 +1,149 @@
+//! Relaxed parallel Louvain (Grappolo-style).
+//!
+//! The paper's successors (Grappolo, NetworKit) parallelise Louvain by
+//! letting every vertex evaluate and apply its best move concurrently with
+//! racy reads of the evolving partition. The result is non-deterministic
+//! but high quality in practice; it serves here as the "state of the
+//! practice" comparison point for the matching-based detector.
+
+use crate::louvain::aggregate;
+use pcd_graph::{Csr, Graph};
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicUsize, Ordering};
+
+/// Runs parallel Louvain to convergence over aggregation rounds.
+pub fn louvain_parallel(g: &Graph) -> Vec<VertexId> {
+    let mut assignment: Vec<VertexId> = (0..g.num_vertices() as u32).collect();
+    let mut current = g.clone();
+    for _ in 0..32 {
+        let local = local_move_parallel(&current);
+        let (compact, k) = pcd_metrics::compact_labels(&local);
+        assignment.par_iter_mut().for_each(|a| *a = compact[*a as usize]);
+        if k == current.num_vertices() {
+            break;
+        }
+        current = aggregate(&current, &compact, k);
+    }
+    assignment
+}
+
+/// One parallel local-moving phase: vertices concurrently adopt the
+/// neighbouring community with the best modularity gain, reading the
+/// partition racily and updating community volumes atomically.
+fn local_move_parallel(g: &Graph) -> Vec<VertexId> {
+    let csr = Csr::from_graph(g);
+    let nv = csr.num_vertices();
+    let m = g.total_weight();
+    if m == 0 || nv == 0 {
+        return (0..nv as u32).collect();
+    }
+    let mf = m as f64;
+    let vol_v: Vec<Weight> = (0..nv as u32).map(|v| csr.volume(v)).collect();
+    let comm: Vec<AtomicU32> = (0..nv as u32).map(AtomicU32::new).collect();
+    let vol_c: Vec<AtomicI64> = vol_v.iter().map(|&v| AtomicI64::new(v as i64)).collect();
+
+    for _sweep in 0..50 {
+        let moved = AtomicUsize::new(0);
+        (0..nv).into_par_iter().for_each(|v| {
+            if csr.degree(v as u32) == 0 {
+                return;
+            }
+            let mut links: HashMap<u32, u64> = HashMap::new();
+            for (u, w) in csr.neighbors(v as u32) {
+                *links.entry(comm[u as usize].load(Ordering::Relaxed)).or_insert(0) += w;
+            }
+            let cur = comm[v].load(Ordering::Relaxed);
+            let kv = vol_v[v] as f64;
+            let score = |w_c: f64, vol: f64| w_c / mf - kv * vol / (2.0 * mf * mf);
+            let w_cur = *links.get(&cur).unwrap_or(&0) as f64;
+            let cur_score =
+                score(w_cur, vol_c[cur as usize].load(Ordering::Relaxed) as f64 - kv);
+            let mut cands: Vec<u32> = links.keys().copied().collect();
+            cands.sort_unstable();
+            let mut best = cur;
+            let mut best_score = cur_score + 1e-12;
+            for c in cands {
+                if c == cur {
+                    continue;
+                }
+                let s = score(
+                    links[&c] as f64,
+                    vol_c[c as usize].load(Ordering::Relaxed) as f64,
+                );
+                if s > best_score {
+                    best_score = s;
+                    best = c;
+                }
+            }
+            if best != cur {
+                // Racy but volume-conserving: the fetch_add/sub pair keeps
+                // Σ vol_c == 2m regardless of interleaving.
+                comm[v].store(best, Ordering::Relaxed);
+                vol_c[cur as usize].fetch_sub(vol_v[v] as i64, Ordering::Relaxed);
+                vol_c[best as usize].fetch_add(vol_v[v] as i64, Ordering::Relaxed);
+                moved.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if moved.load(Ordering::Relaxed) == 0 {
+            break;
+        }
+    }
+    comm.into_iter().map(|c| c.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn karate_quality_matches_sequential_class() {
+        let g = pcd_gen::classic::karate_club();
+        let a = louvain_parallel(&g);
+        let q = pcd_metrics::modularity(&g, &a);
+        assert!(q > 0.35, "q = {q}");
+    }
+
+    #[test]
+    fn clique_ring_recovered() {
+        let g = pcd_gen::classic::clique_ring(8, 6);
+        let truth = pcd_gen::classic::clique_ring_truth(8, 6);
+        let a = louvain_parallel(&g);
+        let nmi = pcd_metrics::normalized_mutual_information(&a, &truth);
+        assert!(nmi > 0.9, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn sbm_planted_partition_recovered() {
+        let sbm = pcd_gen::sbm_graph(&pcd_gen::SbmParams {
+            num_vertices: 1_000,
+            min_community: 20,
+            max_community: 60,
+            size_exponent: 1.6,
+            internal_degree: 12.0,
+            external_degree: 1.0,
+            seed: 12,
+        });
+        let a = louvain_parallel(&sbm.graph);
+        let nmi = pcd_metrics::normalized_mutual_information(&a, &sbm.ground_truth);
+        assert!(nmi > 0.8, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn volume_conservation_under_concurrency() {
+        // Run the parallel phase on a mid-size graph and verify the final
+        // assignment's modularity is sane (no corruption from races).
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(11, 8));
+        let a = louvain_parallel(&g);
+        let q = pcd_metrics::modularity(&g, &a);
+        assert!((-1.0..=1.0).contains(&q));
+        assert_eq!(a.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(louvain_parallel(&g), vec![0, 1, 2, 3]);
+    }
+}

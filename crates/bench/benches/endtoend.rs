@@ -1,0 +1,40 @@
+//! End-to-end agglomeration benchmarks: the full score → match → contract
+//! loop under the paper's coverage ≥ 0.5 rule, across kernel
+//! configurations and graph families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcd_core::{detect, Config, ContractorKind, MatcherKind};
+use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend");
+    group.sample_size(10);
+
+    let rmat = rmat_graph(&RmatParams::paper(13, 42));
+    let sbm = sbm_graph(&SbmParams::livejournal_like(10_000, 43)).graph;
+
+    for (name, g) in [("rmat-13-16", &rmat), ("sbm-lj-10k", &sbm)] {
+        group.bench_with_input(BenchmarkId::new("paper-2012", name), &(), |b, _| {
+            let cfg = Config::paper_performance();
+            b.iter(|| detect(g.clone(), &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("legacy-2011", name), &(), |b, _| {
+            let cfg = Config::legacy_2011();
+            b.iter(|| detect(g.clone(), &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential-kernels", name), &(), |b, _| {
+            let cfg = Config::paper_performance()
+                .with_matcher(MatcherKind::Sequential)
+                .with_contractor(ContractorKind::Sequential);
+            b.iter(|| detect(g.clone(), &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("local-maximum", name), &(), |b, _| {
+            let cfg = Config::default();
+            b.iter(|| detect(g.clone(), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks for the graph-construction substrate (§V-B): R-MAT edge
+//! generation, duplicate accumulation, connected components, CSR building.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcd_gen::{rmat_edges, sbm_graph, web_graph, RmatParams, SbmParams, WebParams};
+use pcd_graph::{builder, components, Csr};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    for scale in [12u32, 14] {
+        let p = RmatParams::paper(scale, 42);
+        group.bench_with_input(BenchmarkId::new("rmat-edges", scale), &p, |b, p| {
+            b.iter(|| rmat_edges(p));
+        });
+        let edges = rmat_edges(&p);
+        group.bench_with_input(BenchmarkId::new("dedup-build", scale), &(), |b, _| {
+            b.iter(|| builder::from_edges(p.num_vertices(), edges.clone()));
+        });
+        let g = builder::from_edges(p.num_vertices(), edges.clone());
+        group.bench_with_input(BenchmarkId::new("components", scale), &(), |b, _| {
+            b.iter(|| components::components(&g));
+        });
+        group.bench_with_input(BenchmarkId::new("csr", scale), &(), |b, _| {
+            b.iter(|| Csr::from_graph(&g));
+        });
+    }
+
+    group.bench_function("sbm-20k", |b| {
+        let p = SbmParams::livejournal_like(20_000, 7);
+        b.iter(|| sbm_graph(&p));
+    });
+    group.bench_function("web-20k", |b| {
+        let p = WebParams::uk_like(20_000, 7);
+        b.iter(|| web_graph(&p));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

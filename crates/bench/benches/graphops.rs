@@ -1,0 +1,55 @@
+//! Benchmarks for the graph-algorithm substrate beyond the detection
+//! kernels: BFS, connected components, triangle counting, reordering and
+//! community extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcd_core::{detect, Config};
+use pcd_gen::{rmat_graph, RmatParams};
+use pcd_graph::{bfs, components, extract, reorder, triangles, Csr};
+
+fn bench_graphops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphops");
+    group.sample_size(10);
+    let g = rmat_graph(&RmatParams::paper(13, 42));
+    let csr = Csr::from_graph(&g);
+
+    group.bench_function("bfs", |b| {
+        b.iter(|| bfs::bfs(&csr, 0));
+    });
+    group.bench_function("components", |b| {
+        b.iter(|| components::components(&g));
+    });
+    group.bench_function("triangles", |b| {
+        b.iter(|| triangles::count_triangles(&csr));
+    });
+    group.bench_function("degree-reorder", |b| {
+        b.iter(|| {
+            let p = reorder::degree_descending(&g);
+            reorder::apply(&g, &p)
+        });
+    });
+    let r = detect(g.clone(), &Config::default());
+    group.bench_function("extract-communities", |b| {
+        b.iter(|| extract::extract_communities(&g, &r.assignment));
+    });
+    group.finish();
+}
+
+fn bench_spmat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmat");
+    group.sample_size(10);
+    let g = rmat_graph(&RmatParams::paper(12, 42));
+    let r = detect(g.clone(), &Config::default());
+    group.bench_function("spgemm-contraction", |b| {
+        b.iter(|| {
+            pcd_spmat::contract_spgemm(&g, &r.assignment, r.num_communities)
+        });
+    });
+    group.bench_function("adjacency-build", |b| {
+        b.iter(|| pcd_spmat::contraction::adjacency_matrix(&g));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphops, bench_spmat);
+criterion_main!(benches);

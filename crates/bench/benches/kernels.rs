@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the three kernel primitives of §III:
+//! scoring, matching (new vs 2011 vs sequential), contraction (bucket-sort
+//! prefix-sum vs fetch-add vs linked-list vs sequential).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcd_contract::{bucket, linked, seq as cseq, Placement};
+use pcd_core::{score_all, ScoreContext, ScorerKind};
+use pcd_gen::{rmat_graph, RmatParams};
+use pcd_graph::Graph;
+use pcd_matching::{edge_sweep, parallel, seq as mseq, Matching};
+
+fn bench_graph(scale: u32) -> Graph {
+    rmat_graph(&RmatParams::paper(scale, 42))
+}
+
+fn scores_of(g: &Graph) -> Vec<f64> {
+    let ctx = ScoreContext::new(g);
+    score_all(ScorerKind::Modularity, g, &ctx)
+}
+
+fn matching_of(g: &Graph, scores: &[f64]) -> Matching {
+    parallel::match_unmatched_list(g, scores)
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring");
+    for scale in [12u32, 14] {
+        let g = bench_graph(scale);
+        group.bench_with_input(BenchmarkId::new("modularity", scale), &g, |b, g| {
+            let ctx = ScoreContext::new(g);
+            b.iter(|| score_all(ScorerKind::Modularity, g, &ctx));
+        });
+        group.bench_with_input(BenchmarkId::new("conductance", scale), &g, |b, g| {
+            let ctx = ScoreContext::new(g);
+            b.iter(|| score_all(ScorerKind::Conductance, g, &ctx));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for scale in [12u32, 14] {
+        let g = bench_graph(scale);
+        let s = scores_of(&g);
+        group.bench_with_input(BenchmarkId::new("unmatched-list", scale), &(), |b, _| {
+            b.iter(|| parallel::match_unmatched_list(&g, &s));
+        });
+        group.bench_with_input(BenchmarkId::new("edge-sweep-2011", scale), &(), |b, _| {
+            b.iter(|| edge_sweep::match_edge_sweep(&g, &s));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", scale), &(), |b, _| {
+            b.iter(|| mseq::match_sequential_greedy(&g, &s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contraction");
+    group.sample_size(10);
+    for scale in [12u32, 14] {
+        let g = bench_graph(scale);
+        let s = scores_of(&g);
+        let m = matching_of(&g, &s);
+        group.bench_with_input(BenchmarkId::new("bucket-prefix-sum", scale), &(), |b, _| {
+            b.iter(|| bucket::contract_with_policy(&g, &m, Placement::PrefixSum));
+        });
+        group.bench_with_input(BenchmarkId::new("bucket-fetch-add", scale), &(), |b, _| {
+            b.iter(|| bucket::contract_with_policy(&g, &m, Placement::FetchAdd));
+        });
+        group.bench_with_input(BenchmarkId::new("linked-list-2011", scale), &(), |b, _| {
+            b.iter(|| linked::contract_linked(&g, &m));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", scale), &(), |b, _| {
+            b.iter(|| cseq::contract_seq(&g, &m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring, bench_matching, bench_contraction);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation benchmarks over the scoring metric and the refinement
+//! extension: modularity vs conductance vs heavy-edge end to end, and the
+//! cost of post-refinement sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcd_core::refine::refine;
+use pcd_core::{detect, Config, ScorerKind};
+use pcd_gen::{sbm_graph, SbmParams};
+
+fn bench_scorers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scorers");
+    group.sample_size(10);
+    let g = sbm_graph(&SbmParams::livejournal_like(10_000, 5)).graph;
+    for (name, kind) in [
+        ("modularity", ScorerKind::Modularity),
+        ("conductance", ScorerKind::Conductance),
+        ("heavy-edge", ScorerKind::HeavyEdge),
+    ] {
+        group.bench_with_input(BenchmarkId::new("detect", name), &kind, |b, &kind| {
+            let cfg = Config::paper_performance().with_scorer(kind);
+            b.iter(|| detect(g.clone(), &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    let g = sbm_graph(&SbmParams::livejournal_like(10_000, 5)).graph;
+    let r = detect(g.clone(), &Config::default());
+    group.bench_function("one-sweep", |b| {
+        b.iter(|| refine(&g, &r.assignment, 1));
+    });
+    group.bench_function("to-fixpoint", |b| {
+        b.iter(|| refine(&g, &r.assignment, 10));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scorers, bench_refine);
+criterion_main!(benches);

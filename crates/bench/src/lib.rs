@@ -1,0 +1,9 @@
+//! Shared experiment harness for reproducing the paper's tables and
+//! figures. The `repro` binary drives everything; criterion benches reuse
+//! the suite builders.
+
+pub mod suite;
+pub mod sweep;
+
+pub use suite::{default_suite, NamedGraph, SuiteParams};
+pub use sweep::{run_sweep, SweepPoint};

@@ -1,0 +1,342 @@
+//! The paper's bucket-sort contraction (§IV-C).
+//!
+//! Pipeline, all phases parallel:
+//!
+//! 1. **Relabel** every edge's endpoints to new community ids and
+//!    re-canonicalise under the parity hash; edges whose endpoints
+//!    coincide fold into the new vertex's self-loop.
+//! 2. **Bucket** surviving edges by their new stored-first endpoint.
+//!    Placement of buckets in the output array follows one of the two
+//!    policies the paper describes (see [`Placement`]).
+//! 3. **Sort & accumulate** within each bucket by the second endpoint,
+//!    merging duplicate edges and shortening the bucket.
+//! 4. **Compact** the shortened buckets into dense storage ("copied back
+//!    out into the original graph's storage").
+
+use crate::{contracted_self_loops, relabel_from_matching, Contraction};
+use pcd_graph::{canonical_order, Graph};
+use pcd_matching::Matching;
+use pcd_util::atomics::{as_atomic_u32, as_atomic_u64};
+use pcd_util::scan::offsets_from_counts;
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bucket placement policy in the scatter phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Deterministic: per-vertex counts + parallel prefix sum give each
+    /// bucket a fixed offset; buckets appear in ascending vertex order.
+    /// ("Storing the buckets contiguously requires synchronizing on a
+    /// prefix sum.")
+    PrefixSum,
+    /// Paper-faithful racy variant: buckets claim space with one global
+    /// fetch-and-add, in whatever order threads arrive. The resulting
+    /// layout is schedule-dependent (the *graph* is the same up to edge
+    /// order); the paper notes this needs no synchronisation "beyond an
+    /// atomic fetch-and-add".
+    FetchAdd,
+}
+
+/// Contracts `g` along matching `m` with the default deterministic
+/// placement.
+pub fn contract(g: &Graph, m: &Matching) -> Contraction {
+    contract_with_policy(g, m, Placement::PrefixSum)
+}
+
+/// Contracts `g` along matching `m` with an explicit placement policy.
+pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Contraction {
+    let (new_of_old, num_new) = relabel_from_matching(g, m);
+    let mut self_loop = contracted_self_loops(g, m, &new_of_old, num_new);
+
+    let ne = g.num_edges();
+
+    // Phase 1: relabel + re-canonicalise. Dead edges (now internal to a new
+    // vertex) are marked with NO_VERTEX and their weight folded into the
+    // self-loop array. Matched edges were already folded by
+    // `contracted_self_loops`, so they are simply marked dead here.
+    let matched: Vec<bool> = {
+        let mut v = vec![false; ne];
+        for &e in m.matched_edges() {
+            v[e] = true;
+        }
+        v
+    };
+    let mut new_src = vec![0u32; ne];
+    let mut new_dst = vec![0u32; ne];
+    {
+        let src_c = as_atomic_u32(&mut new_src);
+        let dst_c = as_atomic_u32(&mut new_dst);
+        let self_c = as_atomic_u64(&mut self_loop);
+        (0..ne).into_par_iter().for_each(|e| {
+            let (i, j, w) = g.edge(e);
+            let (ni, nj) = (new_of_old[i as usize], new_of_old[j as usize]);
+            if ni == nj {
+                // Internal to a merged pair. The matched edge itself was
+                // already folded; any other coinciding edge folds here.
+                if !matched[e] {
+                    self_c[ni as usize].fetch_add(w, Ordering::Relaxed);
+                }
+                src_c[e].store(pcd_util::NO_VERTEX, Ordering::Relaxed);
+            } else {
+                let (a, b) = canonical_order(ni, nj);
+                src_c[e].store(a, Ordering::Relaxed);
+                dst_c[e].store(b, Ordering::Relaxed);
+            }
+        });
+    }
+
+    // Phase 2: size buckets.
+    let counts: Vec<AtomicUsize> = (0..num_new).map(|_| AtomicUsize::new(0)).collect();
+    (0..ne).into_par_iter().for_each(|e| {
+        let s = new_src[e];
+        if s != pcd_util::NO_VERTEX {
+            counts[s as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let counts: Vec<usize> = counts.into_iter().map(|c| c.into_inner()).collect();
+    let live: usize = counts.iter().sum();
+
+    // Bucket offsets per placement policy.
+    let bucket_off: Vec<usize> = match placement {
+        Placement::PrefixSum => {
+            let off = offsets_from_counts(&counts);
+            off[..num_new].to_vec()
+        }
+        Placement::FetchAdd => {
+            // One global cursor; buckets claim their extent on first touch
+            // by any thread, in arrival order.
+            let cursor = AtomicUsize::new(0);
+            let off: Vec<AtomicUsize> =
+                (0..num_new).map(|_| AtomicUsize::new(usize::MAX)).collect();
+            (0..num_new).into_par_iter().for_each(|v| {
+                if counts[v] > 0 {
+                    let at = cursor.fetch_add(counts[v], Ordering::Relaxed);
+                    off[v].store(at, Ordering::Relaxed);
+                } else {
+                    off[v].store(0, Ordering::Relaxed);
+                }
+            });
+            off.into_iter().map(|o| o.into_inner()).collect()
+        }
+    };
+
+    // Phase 2b: scatter into the bucketed temp arrays.
+    let cursor: Vec<AtomicUsize> = bucket_off.iter().map(|&o| AtomicUsize::new(o)).collect();
+    let mut tmp_dst = vec![0u32; live];
+    let mut tmp_w = vec![0u64; live];
+    {
+        let dst_c = as_atomic_u32(&mut tmp_dst);
+        let w_c = as_atomic_u64(&mut tmp_w);
+        (0..ne).into_par_iter().for_each(|e| {
+            let s = new_src[e];
+            if s != pcd_util::NO_VERTEX {
+                let pos = cursor[s as usize].fetch_add(1, Ordering::Relaxed);
+                dst_c[pos].store(new_dst[e], Ordering::Relaxed);
+                w_c[pos].store(g.weights()[e], Ordering::Relaxed);
+            }
+        });
+    }
+
+    // Phase 3: per-bucket sort + accumulate (shortening buckets).
+    // Buckets are disjoint ranges of tmp arrays; raw-pointer access is safe.
+    let uniq: Vec<usize> = {
+        let dst_ptr = SendPtr(tmp_dst.as_mut_ptr());
+        let w_ptr = SendPtr(tmp_w.as_mut_ptr());
+        (0..num_new)
+            .into_par_iter()
+            .map(|v| {
+                let (b, len) = (bucket_off[v], counts[v]);
+                if len == 0 {
+                    return 0;
+                }
+                let (dst_ptr, w_ptr) = (&dst_ptr, &w_ptr);
+                unsafe {
+                    let d = std::slice::from_raw_parts_mut(dst_ptr.0.add(b), len);
+                    let w = std::slice::from_raw_parts_mut(w_ptr.0.add(b), len);
+                    sort_accumulate(d, w)
+                }
+            })
+            .collect()
+    };
+
+    // Phase 4: compact shortened buckets into dense final storage. The
+    // final bucket order matches the placement policy's bucket order.
+    let final_off = offsets_from_counts(&uniq);
+    let total = final_off[num_new];
+    let mut src = vec![0u32; total];
+    let mut dst = vec![0u32; total];
+    let mut weight = vec![0u64; total];
+    {
+        let src_c = as_atomic_u32(&mut src);
+        let dst_c = as_atomic_u32(&mut dst);
+        let w_c = as_atomic_u64(&mut weight);
+        (0..num_new).into_par_iter().for_each(|v| {
+            let from = bucket_off[v];
+            let to = final_off[v];
+            for k in 0..uniq[v] {
+                src_c[to + k].store(v as u32, Ordering::Relaxed);
+                dst_c[to + k].store(tmp_dst[from + k], Ordering::Relaxed);
+                w_c[to + k].store(tmp_w[from + k], Ordering::Relaxed);
+            }
+        });
+    }
+    let bucket_begin = final_off[..num_new].to_vec();
+    let bucket_end: Vec<usize> = (0..num_new).map(|v| final_off[v] + uniq[v]).collect();
+
+    let graph = Graph::from_parts(num_new, src, dst, weight, bucket_begin, bucket_end, self_loop);
+    Contraction { graph, new_of_old, num_new }
+}
+
+/// Sorts a bucket by destination and accumulates duplicate destinations in
+/// place; returns the number of unique entries (the shortened length).
+fn sort_accumulate(dst: &mut [u32], w: &mut [u64]) -> usize {
+    let len = dst.len();
+    if len == 0 {
+        return 0;
+    }
+    // Sort (dst, w) pairs by dst via a permutation (buckets are small on
+    // average; simple and cache-friendly enough).
+    let mut perm: Vec<u32> = (0..len as u32).collect();
+    perm.sort_unstable_by_key(|&k| dst[k as usize]);
+    let sorted_d: Vec<u32> = perm.iter().map(|&k| dst[k as usize]).collect();
+    let sorted_w: Vec<u64> = perm.iter().map(|&k| w[k as usize]).collect();
+    let mut out = 0usize;
+    let mut k = 0usize;
+    while k < len {
+        let d = sorted_d[k];
+        let mut acc = sorted_w[k];
+        k += 1;
+        while k < len && sorted_d[k] == d {
+            acc += sorted_w[k];
+            k += 1;
+        }
+        dst[out] = d;
+        w[out] = acc;
+        out += 1;
+    }
+    out
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_fingerprint;
+    use pcd_matching::seq::match_sequential_greedy;
+
+    fn contract_uniform(g: &Graph) -> Contraction {
+        let s = vec![1.0; g.num_edges()];
+        let m = match_sequential_greedy(g, &s);
+        contract(g, &m)
+    }
+
+    #[test]
+    fn weight_conserved_on_clique_ring() {
+        let g = pcd_gen::classic::clique_ring(4, 4);
+        let c = contract_uniform(&g);
+        assert_eq!(c.graph.total_weight(), g.total_weight());
+        assert_eq!(c.graph.validate(), Ok(()));
+        assert!(c.num_new < g.num_vertices());
+    }
+
+    #[test]
+    fn pair_merge_folds_edge() {
+        let g = pcd_graph::GraphBuilder::new(2).add_edge(0, 1, 7).build();
+        let c = contract_uniform(&g);
+        assert_eq!(c.num_new, 1);
+        assert_eq!(c.graph.num_edges(), 0);
+        assert_eq!(c.graph.self_loop(0), 7);
+    }
+
+    #[test]
+    fn parallel_edges_between_pairs_accumulate() {
+        // Square 0-1-2-3-0: match (0,1) and (2,3); the two cross edges
+        // (1,2) and (3,0) become parallel edges between the two new
+        // vertices and must merge into weight 2.
+        let g = pcd_graph::GraphBuilder::new(4)
+            .add_pairs([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let s: Vec<f64> = (0..g.num_edges())
+            .map(|e| {
+                let (i, j, _) = g.edge(e);
+                let key = (i.min(j), i.max(j));
+                if key == (0, 1) || key == (2, 3) {
+                    2.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let m = match_sequential_greedy(&g, &s);
+        assert_eq!(m.len(), 2);
+        let c = contract(&g, &m);
+        assert_eq!(c.num_new, 2);
+        assert_eq!(c.graph.num_edges(), 1);
+        assert_eq!(c.graph.weights(), &[2]);
+        assert_eq!(c.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn empty_matching_is_isomorphic_copy() {
+        let g = pcd_gen::classic::clique_ring(3, 4);
+        let m = pcd_matching::Matching::empty(g.num_vertices());
+        let c = contract(&g, &m);
+        assert_eq!(c.num_new, g.num_vertices());
+        assert_eq!(edge_fingerprint(&c.graph), edge_fingerprint(&g));
+        assert_eq!(c.graph.self_loops(), g.self_loops());
+    }
+
+    #[test]
+    fn fetch_add_placement_same_graph() {
+        let p = pcd_gen::RmatParams::paper(9, 17);
+        let g = pcd_gen::rmat_graph(&p);
+        let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+        let m = match_sequential_greedy(&g, &s);
+        let a = contract_with_policy(&g, &m, Placement::PrefixSum);
+        let b = contract_with_policy(&g, &m, Placement::FetchAdd);
+        assert_eq!(a.num_new, b.num_new);
+        assert_eq!(edge_fingerprint(&a.graph), edge_fingerprint(&b.graph));
+        assert_eq!(a.graph.self_loops(), b.graph.self_loops());
+        assert_eq!(b.graph.validate(), Ok(()));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let p = pcd_gen::RmatParams::paper(9, 23);
+        let g = pcd_gen::rmat_graph(&p);
+        let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+        let m = match_sequential_greedy(&g, &s);
+        let c1 = pcd_util::pool::with_threads(1, || contract(&g, &m));
+        let c4 = pcd_util::pool::with_threads(4, || contract(&g, &m));
+        assert_eq!(c1.graph.srcs(), c4.graph.srcs());
+        assert_eq!(c1.graph.dsts(), c4.graph.dsts());
+        assert_eq!(c1.graph.weights(), c4.graph.weights());
+        assert_eq!(c1.new_of_old, c4.new_of_old);
+    }
+
+    #[test]
+    fn rmat_weight_conserved_through_contraction() {
+        let p = pcd_gen::RmatParams::paper(10, 5);
+        let g = pcd_gen::rmat_graph(&p);
+        let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+        let m = pcd_matching::match_unmatched_list(&g, &s);
+        let c = contract(&g, &m);
+        assert_eq!(c.graph.total_weight(), g.total_weight());
+        assert_eq!(c.graph.validate(), Ok(()));
+        assert_eq!(c.num_new, g.num_vertices() - m.len());
+    }
+
+    #[test]
+    fn sort_accumulate_merges_runs() {
+        let mut d = vec![5u32, 3, 5, 3, 9];
+        let mut w = vec![1u64, 2, 3, 4, 5];
+        let n = sort_accumulate(&mut d, &mut w);
+        assert_eq!(n, 3);
+        assert_eq!(&d[..n], &[3, 5, 9]);
+        assert_eq!(&w[..n], &[6, 4, 5]);
+    }
+}

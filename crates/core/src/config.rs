@@ -1,0 +1,176 @@
+//! Detection configuration: metric, kernel implementations, constraints,
+//! and termination criteria.
+
+use crate::termination::Criterion;
+
+/// Which optimisation metric scores edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScorerKind {
+    /// Change in Newman–Girvan modularity (the paper's primary metric).
+    #[default]
+    Modularity,
+    /// Negated change in conductance (minimisation turned maximisation).
+    Conductance,
+    /// Raw edge weight — plain heavy-edge coarsening, a useful ablation.
+    HeavyEdge,
+}
+
+/// Which matching kernel merges communities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherKind {
+    /// The paper's improved unmatched-vertex-list matching (§IV-B).
+    #[default]
+    UnmatchedList,
+    /// The 2011 full-edge-sweep baseline.
+    EdgeSweep,
+    /// Sequential greedy (oracle / single-thread reference).
+    Sequential,
+}
+
+/// Which contraction kernel builds the next community graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContractorKind {
+    /// The paper's bucket-sort contraction, deterministic prefix-sum
+    /// placement (§IV-C).
+    #[default]
+    Bucket,
+    /// Bucket-sort with the racy fetch-and-add placement the paper
+    /// mentions but never timed.
+    BucketFetchAdd,
+    /// The 2011 linked-list hash-chain baseline.
+    Linked,
+    /// Sequential hash-map oracle.
+    Sequential,
+}
+
+/// Full configuration for [`crate::detect`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Metric used to score candidate merges.
+    pub scorer: ScorerKind,
+    /// Matching kernel implementation.
+    pub matcher: MatcherKind,
+    /// Contraction kernel implementation.
+    pub contractor: ContractorKind,
+    /// Extra termination criteria; the local-maximum exit (no positive
+    /// edge score) always applies.
+    pub criteria: Vec<Criterion>,
+    /// If set, merges that would grow a community past this many original
+    /// vertices are masked out — the paper's "maximum community size"
+    /// external constraint.
+    pub max_community_size: Option<usize>,
+    /// Record each level's old→new community map so any intermediate
+    /// partition of the dendrogram can be reconstructed afterwards.
+    pub record_levels: bool,
+}
+
+impl Default for Config {
+    /// Quality defaults: modularity, the paper's improved kernels, run to
+    /// the local maximum.
+    fn default() -> Self {
+        Config {
+            scorer: ScorerKind::default(),
+            matcher: MatcherKind::default(),
+            contractor: ContractorKind::default(),
+            criteria: Vec::new(),
+            max_community_size: None,
+            record_levels: false,
+        }
+    }
+}
+
+impl Config {
+    /// The paper's §V performance configuration: stop once coverage
+    /// reaches 0.5 (the DIMACS-challenge-style rule).
+    pub fn paper_performance() -> Self {
+        Config {
+            criteria: vec![Criterion::Coverage(0.5)],
+            ..Config::default()
+        }
+    }
+
+    /// The 2011-algorithm configuration (edge-sweep matching + linked-list
+    /// contraction) used by the "20% improvement" ablation.
+    pub fn legacy_2011() -> Self {
+        Config {
+            matcher: MatcherKind::EdgeSweep,
+            contractor: ContractorKind::Linked,
+            ..Config::paper_performance()
+        }
+    }
+
+    #[must_use]
+    /// Replaces the scoring metric.
+    pub fn with_scorer(mut self, s: ScorerKind) -> Self {
+        self.scorer = s;
+        self
+    }
+
+    #[must_use]
+    /// Replaces the matching kernel.
+    pub fn with_matcher(mut self, m: MatcherKind) -> Self {
+        self.matcher = m;
+        self
+    }
+
+    #[must_use]
+    /// Replaces the contraction kernel.
+    pub fn with_contractor(mut self, c: ContractorKind) -> Self {
+        self.contractor = c;
+        self
+    }
+
+    #[must_use]
+    /// Adds an external termination criterion.
+    pub fn with_criterion(mut self, c: Criterion) -> Self {
+        self.criteria.push(c);
+        self
+    }
+
+    #[must_use]
+    /// Masks merges that would exceed `s` original vertices per community.
+    pub fn with_max_community_size(mut self, s: usize) -> Self {
+        self.max_community_size = Some(s);
+        self
+    }
+
+    #[must_use]
+    /// Records every level map for dendrogram reconstruction.
+    pub fn with_recorded_levels(mut self) -> Self {
+        self.record_levels = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_improved_kernels() {
+        let c = Config::default();
+        assert_eq!(c.scorer, ScorerKind::Modularity);
+        assert_eq!(c.matcher, MatcherKind::UnmatchedList);
+        assert_eq!(c.contractor, ContractorKind::Bucket);
+        assert!(c.criteria.is_empty());
+    }
+
+    #[test]
+    fn paper_performance_sets_coverage() {
+        let c = Config::paper_performance();
+        assert_eq!(c.criteria, vec![Criterion::Coverage(0.5)]);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Config::default()
+            .with_scorer(ScorerKind::Conductance)
+            .with_matcher(MatcherKind::Sequential)
+            .with_contractor(ContractorKind::Linked)
+            .with_criterion(Criterion::MaxLevels(3))
+            .with_max_community_size(100);
+        assert_eq!(c.scorer, ScorerKind::Conductance);
+        assert_eq!(c.max_community_size, Some(100));
+        assert_eq!(c.criteria.len(), 1);
+    }
+}

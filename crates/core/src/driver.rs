@@ -1,0 +1,353 @@
+//! The agglomerative main loop (§III): score → match → contract, until a
+//! local maximum or an external criterion.
+
+use crate::config::{Config, ContractorKind, MatcherKind};
+use crate::result::{DetectionResult, LevelStats, StopReason};
+use crate::scorer::{any_positive, mask_oversized, score_all, ScoreContext};
+use crate::termination::{any_stops, LevelState};
+use pcd_contract::{bucket, linked, seq as contract_seq, Contraction, Placement};
+use pcd_graph::Graph;
+use pcd_matching::{edge_sweep, parallel, seq as match_seq, Matching};
+use pcd_util::atomics::as_atomic_u64;
+use pcd_util::timing::Timer;
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Runs agglomerative community detection over `graph` under `config`.
+///
+/// The graph is consumed; it becomes level 0 of the hierarchy. Every
+/// original vertex ends in exactly one community; isolated vertices stay
+/// singletons.
+pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
+    let t_total = Timer::start();
+    let n0 = graph.num_vertices();
+
+    // Original-vertex → current-community mapping, and original-vertex
+    // counts per current community.
+    let mut assignment: Vec<VertexId> = (0..n0 as u32).collect();
+    let mut counts: Vec<Weight> = vec![1; n0];
+    let mut g = graph;
+    let mut levels: Vec<LevelStats> = Vec::new();
+    let mut level_maps: Vec<Vec<VertexId>> = Vec::new();
+    let stop_reason;
+
+    loop {
+        let level = levels.len() + 1;
+        let (nv, ne) = (g.num_vertices(), g.num_edges());
+
+        // --- Phase 1: score.
+        let t = Timer::start();
+        let ctx = ScoreContext::new(&g);
+        let mut scores = score_all(config.scorer, &g, &ctx);
+        if let Some(max_size) = config.max_community_size {
+            mask_oversized(&g, &mut scores, &counts, max_size);
+        }
+        let score_secs = t.elapsed_secs();
+
+        if !any_positive(&scores) {
+            stop_reason = StopReason::LocalMaximum;
+            break;
+        }
+
+        // --- Phase 2: match.
+        let t = Timer::start();
+        let (matching, rounds) = run_matcher(config.matcher, &g, &scores);
+        let match_secs = t.elapsed_secs();
+        if matching.is_empty() {
+            stop_reason = StopReason::NoMatches;
+            break;
+        }
+
+        // --- Phase 3: contract.
+        let t = Timer::start();
+        let contraction = run_contractor(config.contractor, &g, &matching);
+        let contract_secs = t.elapsed_secs();
+
+        // Fold the level into the hierarchy state.
+        let Contraction { graph: next, new_of_old, num_new } = contraction;
+        assignment.par_iter_mut().for_each(|a| {
+            *a = new_of_old[*a as usize];
+        });
+        let mut new_counts = vec![0u64; num_new];
+        {
+            let cells = as_atomic_u64(&mut new_counts);
+            counts.par_iter().enumerate().for_each(|(old, &c)| {
+                cells[new_of_old[old] as usize].fetch_add(c, Ordering::Relaxed);
+            });
+        }
+        counts = new_counts;
+        let pairs = matching.len();
+        if config.record_levels {
+            level_maps.push(new_of_old);
+        }
+        g = next;
+
+        let coverage = g.coverage();
+        let modularity = pcd_metrics::community_graph_modularity(&g);
+        levels.push(LevelStats {
+            level,
+            num_vertices: nv,
+            num_edges: ne,
+            pairs_merged: pairs,
+            match_rounds: rounds,
+            modularity,
+            coverage,
+            score_secs,
+            match_secs,
+            contract_secs,
+        });
+
+        let state = LevelState {
+            level,
+            num_communities: g.num_vertices(),
+            coverage,
+            largest_community: counts.iter().copied().max().unwrap_or(0),
+        };
+        if any_stops(&config.criteria, &state) {
+            stop_reason = StopReason::Criterion;
+            break;
+        }
+    }
+
+    DetectionResult {
+        num_communities: g.num_vertices(),
+        modularity: pcd_metrics::community_graph_modularity(&g),
+        coverage: g.coverage(),
+        community_vertex_counts: counts,
+        community_graph: g,
+        assignment,
+        levels,
+        level_maps,
+        stop_reason,
+        total_secs: t_total.elapsed_secs(),
+    }
+}
+
+fn run_matcher(kind: MatcherKind, g: &Graph, scores: &[f64]) -> (Matching, usize) {
+    let out = match kind {
+        MatcherKind::UnmatchedList => parallel::match_unmatched_list_stats(g, scores),
+        MatcherKind::EdgeSweep => edge_sweep::match_edge_sweep_stats(g, scores),
+        MatcherKind::Sequential => (match_seq::match_sequential_greedy(g, scores), 1),
+    };
+    debug_assert_eq!(
+        pcd_matching::verify::verify_matching(g, scores, &out.0),
+        Ok(())
+    );
+    out
+}
+
+fn run_contractor(kind: ContractorKind, g: &Graph, m: &Matching) -> Contraction {
+    match kind {
+        ContractorKind::Bucket => bucket::contract_with_policy(g, m, Placement::PrefixSum),
+        ContractorKind::BucketFetchAdd => {
+            bucket::contract_with_policy(g, m, Placement::FetchAdd)
+        }
+        ContractorKind::Linked => linked::contract_linked(g, m),
+        ContractorKind::Sequential => contract_seq::contract_seq(g, m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScorerKind;
+    use crate::termination::Criterion;
+
+    #[test]
+    fn clique_ring_finds_cliques() {
+        let k = 8;
+        let s = 8;
+        let g = pcd_gen::classic::clique_ring(k, s);
+        let r = detect(g.clone(), &Config::default());
+        assert_eq!(r.stop_reason, StopReason::LocalMaximum);
+        // Communities should align with the planted cliques: NMI close to 1.
+        let truth = pcd_gen::classic::clique_ring_truth(k, s);
+        let nmi = pcd_metrics::normalized_mutual_information(&r.assignment, &truth);
+        assert!(nmi > 0.75, "nmi = {nmi}");
+        assert!(r.modularity > 0.6, "q = {}", r.modularity);
+        // Assignment and community graph agree.
+        assert_eq!(r.num_communities, r.community_graph.num_vertices());
+        let q_direct = pcd_metrics::modularity(&g, &r.assignment);
+        assert!((q_direct - r.modularity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn karate_reaches_reasonable_modularity() {
+        let g = pcd_gen::classic::karate_club();
+        let r = detect(g, &Config::default());
+        // Sequential CNM reaches ~0.38 on karate; matching-based
+        // agglomeration should land in the same neighbourhood.
+        assert!(r.modularity > 0.30, "q = {}", r.modularity);
+        assert!(r.num_communities >= 2);
+    }
+
+    #[test]
+    fn modularity_telescopes_across_levels() {
+        // Q after each level == Q before + Σ matched scores; checked
+        // end-to-end: per-level modularity must be non-decreasing under the
+        // modularity scorer (every matched score is positive).
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(10, 7));
+        let r = detect(g, &Config::default());
+        let mut prev = f64::NEG_INFINITY;
+        for lvl in &r.levels {
+            assert!(
+                lvl.modularity > prev - 1e-12,
+                "level {} decreased Q: {} -> {}",
+                lvl.level,
+                prev,
+                lvl.modularity
+            );
+            prev = lvl.modularity;
+        }
+    }
+
+    #[test]
+    fn coverage_criterion_stops_early() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(10, 13));
+        let full = detect(g.clone(), &Config::default());
+        let half = detect(g, &Config::paper_performance());
+        assert!(half.levels.len() <= full.levels.len());
+        if half.stop_reason == StopReason::Criterion {
+            assert!(half.coverage >= 0.5);
+            // It stopped at the first level crossing the threshold.
+            if half.levels.len() >= 2 {
+                assert!(half.levels[half.levels.len() - 2].coverage < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn max_levels_criterion() {
+        let g = pcd_gen::classic::clique_ring(16, 4);
+        let r = detect(g, &Config::default().with_criterion(Criterion::MaxLevels(1)));
+        assert_eq!(r.levels.len(), 1);
+        assert_eq!(r.stop_reason, StopReason::Criterion);
+    }
+
+    #[test]
+    fn max_community_size_masks_merges() {
+        let g = pcd_gen::classic::clique(16);
+        let r = detect(g, &Config::default().with_max_community_size(4));
+        assert!(r.community_vertex_counts.iter().all(|&c| c <= 4),
+            "counts = {:?}", r.community_vertex_counts);
+        assert_eq!(r.stop_reason, StopReason::LocalMaximum);
+    }
+
+    #[test]
+    fn counts_partition_all_vertices() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, 3));
+        let n = g.num_vertices() as u64;
+        let r = detect(g, &Config::default());
+        assert_eq!(r.community_vertex_counts.iter().sum::<u64>(), n);
+        assert_eq!(r.assignment.len(), n as usize);
+        for &a in &r.assignment {
+            assert!((a as usize) < r.num_communities);
+        }
+    }
+
+    #[test]
+    fn all_kernel_combinations_agree_on_quality() {
+        let g = pcd_gen::classic::clique_ring(6, 5);
+        let truth = pcd_gen::classic::clique_ring_truth(6, 5);
+        for matcher in [
+            MatcherKind::UnmatchedList,
+            MatcherKind::EdgeSweep,
+            MatcherKind::Sequential,
+        ] {
+            for contractor in [
+                ContractorKind::Bucket,
+                ContractorKind::BucketFetchAdd,
+                ContractorKind::Linked,
+                ContractorKind::Sequential,
+            ] {
+                let cfg = Config::default().with_matcher(matcher).with_contractor(contractor);
+                let r = detect(g.clone(), &cfg);
+                let nmi =
+                    pcd_metrics::normalized_mutual_information(&r.assignment, &truth);
+                assert!(
+                    nmi > 0.7,
+                    "matcher {matcher:?} contractor {contractor:?}: nmi {nmi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conductance_scorer_runs_to_completion() {
+        let g = pcd_gen::classic::clique_ring(6, 5);
+        let r = detect(
+            g,
+            &Config::default()
+                .with_scorer(ScorerKind::Conductance)
+                .with_criterion(Criterion::MaxLevels(10)),
+        );
+        assert!(r.num_communities >= 1);
+        assert!(r.coverage >= 0.0);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let g = Graph::empty(5);
+        let r = detect(g, &Config::default());
+        assert_eq!(r.num_communities, 5);
+        assert_eq!(r.stop_reason, StopReason::LocalMaximum);
+        assert!(r.levels.is_empty());
+    }
+
+    #[test]
+    fn star_makes_slow_progress() {
+        // The paper's worst case: a star contracts O(1) pairs per level.
+        let g = pcd_gen::classic::star(64);
+        let r = detect(g, &Config::default());
+        assert!(!r.levels.is_empty());
+        // First level merges exactly one pair (centre + one leaf).
+        assert_eq!(r.levels[0].pairs_merged, 1);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, 77));
+        let r1 = pcd_util::pool::with_threads(1, {
+            let g = g.clone();
+            move || detect(g, &Config::default())
+        });
+        let r4 = pcd_util::pool::with_threads(4, move || detect(g, &Config::default()));
+        assert_eq!(r1.assignment, r4.assignment);
+        assert_eq!(r1.num_communities, r4.num_communities);
+        assert_eq!(r1.modularity, r4.modularity);
+    }
+
+    #[test]
+    fn recorded_levels_rebuild_any_partition() {
+        let g = pcd_gen::classic::clique_ring(8, 6);
+        let r = detect(g.clone(), &Config::default().with_recorded_levels());
+        assert_eq!(r.level_maps.len(), r.levels.len());
+        // Level 0 is the singleton partition.
+        let a0 = r.assignment_at_level(0);
+        assert_eq!(a0, (0..g.num_vertices() as u32).collect::<Vec<_>>());
+        // The deepest level reproduces the final assignment.
+        let deepest = r.assignment_at_level(r.level_maps.len());
+        assert_eq!(deepest, r.assignment);
+        // Intermediate levels have monotonically fewer communities.
+        let mut prev = usize::MAX;
+        for k in 0..=r.level_maps.len() {
+            let a = r.assignment_at_level(k);
+            let (_, count) = pcd_metrics::compact_labels(&a);
+            assert!(count < prev || k == 0);
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn min_communities_criterion() {
+        let g = pcd_gen::classic::clique_ring(16, 4);
+        let r = detect(
+            g,
+            &Config::default()
+                .with_scorer(ScorerKind::HeavyEdge)
+                .with_criterion(Criterion::MinCommunities(20)),
+        );
+        assert!(r.num_communities <= 20 || r.stop_reason != StopReason::Criterion);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Parallel agglomerative community detection — the paper's contribution.
+//!
+//! Starting from the singleton partition, the driver repeats the three
+//! primitives of §III until a termination criterion fires:
+//!
+//! 1. **score** every community-graph edge ([`scorer`]),
+//! 2. **match** communities to merge (`pcd-matching`),
+//! 3. **contract** the community graph (`pcd-contract`),
+//!
+//! while tracking the original-vertex → community mapping, per-community
+//! vertex counts, per-level quality and phase timings.
+//!
+//! ```
+//! use pcd_core::{detect, Config};
+//!
+//! let graph = pcd_gen::classic::clique_ring(8, 6);
+//! let result = detect(graph, &Config::default());
+//! assert!(result.modularity > 0.5);
+//! ```
+
+pub mod config;
+pub mod driver;
+pub mod multilevel;
+pub mod refine;
+pub mod result;
+pub mod scorer;
+pub mod termination;
+
+pub use config::{Config, ContractorKind, MatcherKind, ScorerKind};
+pub use driver::detect;
+pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
+pub use refine::{detect_refined, refine, Refinement};
+pub use result::{DetectionResult, LevelStats};
+pub use scorer::{score_all, ScoreContext};
+pub use termination::Criterion;

@@ -1,0 +1,94 @@
+//! Termination criteria (§III).
+//!
+//! "Termination occurs either when the algorithm finds a local maximum or
+//! according to external constraints." The local maximum (no positive edge
+//! score) is always checked by the driver; these are the external
+//! constraints, including the DIMACS-style coverage rule the paper's
+//! performance experiments use.
+
+/// An external termination criterion, checked after every contraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Criterion {
+    /// Stop once at least this fraction of all edges lies inside
+    /// communities (the paper uses 0.5).
+    Coverage(f64),
+    /// Stop after this many contraction levels.
+    MaxLevels(usize),
+    /// Stop once at most this many communities remain.
+    MinCommunities(usize),
+    /// Stop once some community contains at least this many original
+    /// vertices. (To *prevent* oversized communities rather than stop at
+    /// them, use `Config::max_community_size`, which masks the merges.)
+    MaxCommunitySize(usize),
+}
+
+/// Per-level state snapshot that criteria are evaluated against.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelState {
+    /// Contraction level just completed.
+    pub level: usize,
+    /// Communities remaining after the level.
+    pub num_communities: usize,
+    /// Coverage after the level.
+    pub coverage: f64,
+    /// Original vertices in the largest community.
+    pub largest_community: u64,
+}
+
+impl Criterion {
+    /// True if this criterion asks the driver to stop.
+    pub fn should_stop(&self, s: &LevelState) -> bool {
+        match *self {
+            Criterion::Coverage(threshold) => s.coverage >= threshold,
+            Criterion::MaxLevels(n) => s.level >= n,
+            Criterion::MinCommunities(n) => s.num_communities <= n,
+            Criterion::MaxCommunitySize(n) => s.largest_community >= n as u64,
+        }
+    }
+}
+
+/// True if any criterion fires (empty list never stops).
+pub fn any_stops(criteria: &[Criterion], s: &LevelState) -> bool {
+    criteria.iter().any(|c| c.should_stop(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> LevelState {
+        LevelState { level: 3, num_communities: 100, coverage: 0.42, largest_community: 17 }
+    }
+
+    #[test]
+    fn coverage_boundary() {
+        assert!(!Criterion::Coverage(0.5).should_stop(&state()));
+        assert!(Criterion::Coverage(0.42).should_stop(&state()));
+        assert!(Criterion::Coverage(0.3).should_stop(&state()));
+    }
+
+    #[test]
+    fn max_levels() {
+        assert!(Criterion::MaxLevels(3).should_stop(&state()));
+        assert!(!Criterion::MaxLevels(4).should_stop(&state()));
+    }
+
+    #[test]
+    fn min_communities() {
+        assert!(Criterion::MinCommunities(100).should_stop(&state()));
+        assert!(!Criterion::MinCommunities(99).should_stop(&state()));
+    }
+
+    #[test]
+    fn max_community_size() {
+        assert!(Criterion::MaxCommunitySize(17).should_stop(&state()));
+        assert!(!Criterion::MaxCommunitySize(18).should_stop(&state()));
+    }
+
+    #[test]
+    fn any_stops_combines() {
+        let cs = [Criterion::MaxLevels(10), Criterion::Coverage(0.4)];
+        assert!(any_stops(&cs, &state()));
+        assert!(!any_stops(&[], &state()));
+    }
+}

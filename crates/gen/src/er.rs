@@ -1,0 +1,68 @@
+//! Erdős–Rényi G(n, m-ish) random graphs — no community structure by
+//! construction; the adversarial control case for quality experiments
+//! (R-MAT's "known not to possess significant community structure" taken
+//! to the extreme).
+
+use pcd_graph::{builder, Graph};
+use pcd_util::rng::stream;
+use pcd_util::{VertexId, Weight};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Generates `edge_draws` uniform random endpoint pairs over `n` vertices
+/// (duplicates accumulate, self-pairs become self-loops). Deterministic
+/// and thread-count independent.
+pub fn erdos_renyi(n: usize, edge_draws: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<(VertexId, VertexId, Weight)> = (0..edge_draws as u64)
+        .into_par_iter()
+        .map(|idx| {
+            let mut rng = stream(seed, idx);
+            let i = rng.gen_range(0..n as u32);
+            let mut j = rng.gen_range(0..n as u32);
+            if i == j {
+                j = (j + 1) % n as u32;
+            }
+            (i, j, 1u64)
+        })
+        .collect();
+    builder::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_as_requested() {
+        let g = erdos_renyi(500, 3_000, 1);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.total_weight(), 3_000);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(100, 500, 9);
+        let b = erdos_renyi(100, 500, 9);
+        assert_eq!(a.srcs(), b.srcs());
+        assert_ne!(a.srcs(), erdos_renyi(100, 500, 10).srcs());
+    }
+
+    #[test]
+    fn volumes_sum_to_twice_weight() {
+        let g = erdos_renyi(1_000, 8_000, 3);
+        let vols: u64 = g.volumes().iter().sum();
+        assert_eq!(vols, 2 * g.total_weight());
+    }
+
+    #[test]
+    fn degrees_concentrate() {
+        // Binomial degrees: max degree stays within a small factor of the
+        // mean, unlike R-MAT / web graphs.
+        let g = erdos_renyi(2_000, 20_000, 5);
+        let csr = pcd_graph::Csr::from_graph(&g);
+        let s = pcd_graph::stats::degree_stats(&csr);
+        assert!((s.max as f64) < 4.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+}

@@ -1,0 +1,137 @@
+//! Parallel level-synchronous breadth-first search and derived distance
+//! statistics (eccentricity estimates, pseudo-diameter). Useful both as a
+//! substrate sanity check and for characterising generated graphs.
+
+use crate::Csr;
+use pcd_util::VertexId;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Unreached marker in distance arrays.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Level-synchronous parallel BFS from `source`; returns hop distances
+/// (`UNREACHED` for other components).
+pub fn bfs(csr: &Csr, source: VertexId) -> Vec<u32> {
+    let nv = csr.num_vertices();
+    assert!((source as usize) < nv, "source out of range");
+    let dist: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let dist_ref = &dist;
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&v| {
+                csr.neighbors(v).filter_map(move |(u, _)| {
+                    // Claim unreached neighbours; CAS ensures each vertex
+                    // joins the next frontier exactly once.
+                    dist_ref[u as usize]
+                        .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                        .then_some(u)
+                })
+            })
+            .collect();
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Farthest distance from `source` within its component.
+pub fn eccentricity(csr: &Csr, source: VertexId) -> u32 {
+    bfs(csr, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Pseudo-diameter by double sweep: BFS from `start`, then BFS from the
+/// farthest vertex found. A lower bound on the true diameter, usually
+/// tight on social networks.
+pub fn pseudo_diameter(csr: &Csr, start: VertexId) -> u32 {
+    let d1 = bfs(csr, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHED)
+        .max_by_key(|&(v, &d)| (d, std::cmp::Reverse(v)))
+        .map(|(v, _)| v as u32)
+        .unwrap_or(start);
+    eccentricity(csr, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, GraphBuilder};
+
+    fn csr_of(g: &Graph) -> Csr {
+        Csr::from_graph(g)
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = GraphBuilder::new(5).add_pairs((0..4u32).map(|i| (i, i + 1))).build();
+        let d = bfs(&csr_of(&g), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&csr_of(&g), 2), 2);
+        assert_eq!(pseudo_diameter(&csr_of(&g), 2), 4);
+    }
+
+    #[test]
+    fn disconnected_marked_unreached() {
+        let g = GraphBuilder::new(4).add_pairs([(0, 1)]).build();
+        let d = bfs(&csr_of(&g), 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let g = GraphBuilder::new(8)
+            .add_pairs((0..8u32).map(|i| (i, (i + 1) % 8)))
+            .build();
+        assert_eq!(pseudo_diameter(&csr_of(&g), 0), 4);
+    }
+
+    #[test]
+    fn matches_sequential_bfs() {
+        use std::collections::VecDeque;
+        let g = pcd_gen_free_random(300, 600);
+        let csr = csr_of(&g);
+        let par = bfs(&csr, 0);
+        // Sequential reference.
+        let mut seq = vec![UNREACHED; 300];
+        seq[0] = 0;
+        let mut q = VecDeque::from([0u32]);
+        while let Some(v) = q.pop_front() {
+            for (u, _) in csr.neighbors(v) {
+                if seq[u as usize] == UNREACHED {
+                    seq[u as usize] = seq[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        assert_eq!(par, seq);
+    }
+
+    /// Small deterministic random graph without depending on pcd-gen
+    /// (which depends on this crate).
+    fn pcd_gen_free_random(nv: usize, ne: usize) -> Graph {
+        let mut edges = Vec::with_capacity(ne);
+        let mut state = 0x12345678u64;
+        for _ in 0..ne {
+            state = pcd_util::rng::mix64(state);
+            let i = (state % nv as u64) as u32;
+            state = pcd_util::rng::mix64(state);
+            let j = (state % nv as u64) as u32;
+            edges.push((i, j, 1));
+        }
+        crate::builder::from_edges(nv, edges)
+    }
+}

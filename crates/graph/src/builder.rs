@@ -1,0 +1,227 @@
+//! Parallel graph construction: canonicalise, sort, accumulate duplicates.
+//!
+//! The paper "accumulate\[s\] repeated edges by adding their weights" when
+//! ingesting R-MAT output. [`from_edges`] does this wholesale and in
+//! parallel: canonical parity-hash ordering, a parallel sort by stored
+//! endpoint pair, a segmented reduction over equal pairs, and contiguous
+//! bucket construction. The result is deterministic for any thread count.
+
+use crate::{atomic_histogram, canonical_order, Graph};
+use pcd_util::atomics::as_atomic_u64;
+use pcd_util::scan::offsets_from_counts;
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Incremental builder for small / test graphs. For bulk ingest use
+/// [`from_edges`], which this delegates to.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    nv: usize,
+    edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder over `nv` vertices.
+    pub fn new(nv: usize) -> Self {
+        GraphBuilder { nv, edges: Vec::new() }
+    }
+
+    /// Adds an edge; `i == j` is routed to the self-loop array, duplicates
+    /// accumulate weight at build time.
+    #[must_use]
+    pub fn add_edge(mut self, i: VertexId, j: VertexId, w: Weight) -> Self {
+        self.edges.push((i, j, w));
+        self
+    }
+
+    /// Adds weight inside vertex `v` (a self-loop).
+    #[must_use]
+    pub fn add_self_loop(self, v: VertexId, w: Weight) -> Self {
+        self.add_edge(v, v, w)
+    }
+
+    /// Adds unit-weight edges from an iterator of pairs.
+    #[must_use]
+    pub fn add_pairs(mut self, pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        self.edges.extend(pairs.into_iter().map(|(i, j)| (i, j, 1)));
+        self
+    }
+
+    /// Finalises into a validated [`Graph`].
+    pub fn build(self) -> Graph {
+        from_edges(self.nv, self.edges)
+    }
+}
+
+/// Builds a [`Graph`] from an arbitrary multiset of weighted edges.
+///
+/// * self-pairs (`i == j`) accumulate into the self-loop array;
+/// * parallel/duplicate edges accumulate their weights;
+/// * zero-weight entries are dropped;
+/// * buckets come out contiguous and sorted by `(src, dst)`.
+pub fn from_edges(nv: usize, edges: Vec<(VertexId, VertexId, Weight)>) -> Graph {
+    // Split off self-loops and canonicalise the rest.
+    let mut self_loop = vec![0u64; nv];
+    let mut pairs: Vec<(VertexId, VertexId, Weight)> = {
+        let cells = as_atomic_u64(&mut self_loop);
+        edges
+            .into_par_iter()
+            .filter_map(|(i, j, w)| {
+                assert!((i as usize) < nv && (j as usize) < nv, "endpoint out of range");
+                if w == 0 {
+                    None
+                } else if i == j {
+                    cells[i as usize].fetch_add(w, Ordering::Relaxed);
+                    None
+                } else {
+                    let (a, b) = canonical_order(i, j);
+                    Some((a, b, w))
+                }
+            })
+            .collect()
+    };
+
+    pairs.par_sort_unstable_by_key(|&(a, b, _)| (a, b));
+
+    let (src, dst, weight) = dedup_accumulate(&pairs);
+
+    // Sorted by src, so buckets are the contiguous runs.
+    let counts = atomic_histogram(nv, &src);
+    let offsets = offsets_from_counts(&counts);
+    let bucket_begin = offsets[..nv].to_vec();
+    let bucket_end = offsets[1..=nv].to_vec();
+
+    Graph::from_parts(nv, src, dst, weight, bucket_begin, bucket_end, self_loop)
+}
+
+/// Segmented reduction over a sorted edge list: collapse equal `(src, dst)`
+/// runs, summing weights. Parallel and deterministic.
+fn dedup_accumulate(
+    sorted: &[(VertexId, VertexId, Weight)],
+) -> (Vec<VertexId>, Vec<VertexId>, Vec<Weight>) {
+    let n = sorted.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    // Flag run heads, then exclusive-scan the flags to get output slots.
+    let mut slot: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let head = i == 0
+                || (sorted[i - 1].0, sorted[i - 1].1) != (sorted[i].0, sorted[i].1);
+            head as usize
+        })
+        .collect();
+    let heads: Vec<bool> = slot.par_iter().map(|&f| f == 1).collect();
+    let nruns = pcd_util::scan::exclusive_prefix_sum(&mut slot);
+
+    let mut src = vec![0u32; nruns];
+    let mut dst = vec![0u32; nruns];
+    let mut weight = vec![0u64; nruns];
+    {
+        let src_c = pcd_util::atomics::as_atomic_u32(&mut src);
+        let dst_c = pcd_util::atomics::as_atomic_u32(&mut dst);
+        let w_c = as_atomic_u64(&mut weight);
+        (0..n).into_par_iter().for_each(|i| {
+            let r = slot[i] + heads[i] as usize - 1;
+            if heads[i] {
+                src_c[r].store(sorted[i].0, Ordering::Relaxed);
+                dst_c[r].store(sorted[i].1, Ordering::Relaxed);
+            }
+            w_c[r].fetch_add(sorted[i].2, Ordering::Relaxed);
+        });
+    }
+    (src, dst, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let g = from_edges(4, vec![(0, 1, 1), (1, 0, 2), (0, 1, 3), (2, 3, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.total_weight(), 7);
+        let stored: Vec<_> = g.edges().collect();
+        // 0,1 mixed parity -> (1,0); 2,3 mixed parity -> (3,2)
+        assert!(stored.contains(&(1, 0, 6)));
+        assert!(stored.contains(&(3, 2, 1)));
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn self_loops_split_out() {
+        let g = from_edges(3, vec![(0, 0, 5), (1, 2, 1), (0, 0, 2)]);
+        assert_eq!(g.self_loop(0), 7);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_weight(), 8);
+    }
+
+    #[test]
+    fn zero_weights_dropped() {
+        let g = from_edges(2, vec![(0, 1, 0)]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.total_weight(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = from_edges(0, vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn builder_matches_bulk() {
+        let a = GraphBuilder::new(4)
+            .add_edge(0, 1, 2)
+            .add_edge(2, 3, 1)
+            .add_self_loop(1, 4)
+            .build();
+        let b = from_edges(4, vec![(0, 1, 2), (2, 3, 1), (1, 1, 4)]);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.total_weight(), b.total_weight());
+        assert_eq!(a.self_loops(), b.self_loops());
+    }
+
+    #[test]
+    fn large_random_builds_valid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let nv = 500usize;
+        let edges: Vec<_> = (0..20_000)
+            .map(|_| {
+                (
+                    rng.gen_range(0..nv as u32),
+                    rng.gen_range(0..nv as u32),
+                    rng.gen_range(1..4u64),
+                )
+            })
+            .collect();
+        let expected: u64 = edges.iter().map(|e| e.2).sum();
+        let g = from_edges(nv, edges);
+        assert_eq!(g.validate(), Ok(()));
+        assert_eq!(g.total_weight(), expected);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let edges: Vec<_> = (0..5_000)
+            .map(|_| (rng.gen_range(0..200u32), rng.gen_range(0..200u32), 1u64))
+            .collect();
+        let g1 = pcd_util::pool::with_threads(1, {
+            let e = edges.clone();
+            move || from_edges(200, e)
+        });
+        let g4 = pcd_util::pool::with_threads(4, move || from_edges(200, edges));
+        assert_eq!(g1.srcs(), g4.srcs());
+        assert_eq!(g1.dsts(), g4.dsts());
+        assert_eq!(g1.weights(), g4.weights());
+        assert_eq!(g1.self_loops(), g4.self_loops());
+    }
+}

@@ -1,0 +1,171 @@
+//! Connected components.
+//!
+//! The paper's R-MAT pipeline "extract\[s\] the largest connected component"
+//! before running community detection. We provide a parallel
+//! label-propagation/pointer-jumping component labelling (Shiloach–Vishkin
+//! flavoured) plus a sequential union-find oracle used in tests.
+
+use crate::Graph;
+use pcd_util::atomics::as_atomic_u32;
+use pcd_util::VertexId;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Parallel connected-component labelling.
+///
+/// Returns `label` with `label[v]` the smallest vertex id in `v`'s
+/// component — a canonical representative, identical for any thread count.
+pub fn components(g: &Graph) -> Vec<VertexId> {
+    let nv = g.num_vertices();
+    let mut label: Vec<u32> = (0..nv as u32).collect();
+    if g.num_edges() == 0 {
+        return label;
+    }
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        {
+            let cells = as_atomic_u32(&mut label);
+            // Hook: pull each edge's endpoints to the smaller label.
+            (0..g.num_edges()).into_par_iter().for_each(|e| {
+                let (i, j, _) = g.edge(e);
+                let li = cells[i as usize].load(Ordering::Relaxed);
+                let lj = cells[j as usize].load(Ordering::Relaxed);
+                if li < lj {
+                    if cells[j as usize].fetch_min(li, Ordering::Relaxed) > li {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                } else if lj < li && cells[i as usize].fetch_min(lj, Ordering::Relaxed) > lj {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            });
+            // Shortcut: pointer-jump labels toward roots.
+            loop {
+                let jumped = AtomicBool::new(false);
+                (0..nv).into_par_iter().for_each(|v| {
+                    let l = cells[v].load(Ordering::Relaxed);
+                    let ll = cells[l as usize].load(Ordering::Relaxed);
+                    if ll < l {
+                        cells[v].fetch_min(ll, Ordering::Relaxed);
+                        jumped.store(true, Ordering::Relaxed);
+                    }
+                });
+                if !jumped.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Sequential union-find components — the test oracle.
+pub fn components_seq(g: &Graph) -> Vec<VertexId> {
+    let nv = g.num_vertices();
+    let mut parent: Vec<u32> = (0..nv as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            let gp = parent[parent[v as usize] as usize];
+            parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+    for (i, j, _) in g.edges() {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri != rj {
+            let (lo, hi) = if ri < rj { (ri, rj) } else { (rj, ri) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..nv as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Sizes of each component keyed by representative label; returns
+/// `(representative, size)` of the largest component.
+pub fn largest_component_label(label: &[VertexId]) -> (VertexId, usize) {
+    use std::collections::HashMap;
+    let mut sizes: HashMap<u32, usize> = HashMap::new();
+    for &l in label {
+        *sizes.entry(l).or_insert(0) += 1;
+    }
+    sizes
+        .into_iter()
+        .max_by_key(|&(l, s)| (s, std::cmp::Reverse(l)))
+        .map(|(l, s)| (l, s))
+        .expect("empty graph has no components")
+}
+
+/// Number of distinct components.
+pub fn count_components(label: &[VertexId]) -> usize {
+    let mut sorted = label.to_vec();
+    sorted.par_sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_triangles_and_isolate() -> Graph {
+        GraphBuilder::new(7)
+            .add_pairs([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .build()
+        // vertex 6 isolated
+    }
+
+    #[test]
+    fn labels_two_components() {
+        let g = two_triangles_and_isolate();
+        let l = components(&g);
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[3], l[4]);
+        assert_eq!(l[4], l[5]);
+        assert_ne!(l[0], l[3]);
+        assert_eq!(l[6], 6);
+        assert_eq!(count_components(&l), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let nv = 300;
+        let edges: Vec<_> = (0..400)
+            .map(|_| (rng.gen_range(0..nv as u32), rng.gen_range(0..nv as u32), 1u64))
+            .collect();
+        let g = crate::builder::from_edges(nv, edges);
+        assert_eq!(components(&g), components_seq(&g));
+    }
+
+    #[test]
+    fn representative_is_minimum() {
+        let g = GraphBuilder::new(5).add_pairs([(4, 2), (2, 3)]).build();
+        let l = components(&g);
+        assert_eq!(l[2], 2);
+        assert_eq!(l[3], 2);
+        assert_eq!(l[4], 2);
+    }
+
+    #[test]
+    fn largest_component_found() {
+        let g = two_triangles_and_isolate();
+        let l = components(&g);
+        let (rep, size) = largest_component_label(&l);
+        assert_eq!(size, 3);
+        assert!(rep == 0 || rep == 3);
+    }
+
+    #[test]
+    fn path_graph_single_component() {
+        let n = 1000u32;
+        let g = GraphBuilder::new(n as usize)
+            .add_pairs((0..n - 1).map(|i| (i, i + 1)))
+            .build();
+        let l = components(&g);
+        assert!(l.iter().all(|&x| x == 0));
+        assert_eq!(count_components(&l), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Compressed-sparse-row adjacency view.
+//!
+//! The bucketed representation stores each edge once; several consumers
+//! (sequential baselines, BFS, per-vertex neighbourhood scans) want the full
+//! adjacency of every vertex. [`Csr`] materialises both directions in
+//! parallel: histogram of endpoint degrees, prefix-sum offsets, atomic-cursor
+//! scatter, then a per-vertex sort for determinism.
+
+use crate::Graph;
+use pcd_util::scan::offsets_from_counts;
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Symmetric CSR adjacency: for every vertex, all incident edges.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `xadj[v]..xadj[v+1]` indexes `adj`/`wgt` for vertex `v`.
+    pub xadj: Vec<usize>,
+    /// Neighbour ids, sorted ascending within each vertex.
+    pub adj: Vec<VertexId>,
+    /// Weight of the edge to the corresponding neighbour.
+    pub wgt: Vec<Weight>,
+    /// Self-loop weights copied from the source graph.
+    pub self_loop: Vec<Weight>,
+    /// Total weight `m`, as in [`Graph::total_weight`].
+    pub total_weight: Weight,
+}
+
+impl Csr {
+    /// Builds the symmetric adjacency from a bucketed graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let nv = g.num_vertices();
+        let ne = g.num_edges();
+
+        // Degree histogram counting both endpoints.
+        let counts: Vec<AtomicUsize> = (0..nv).map(|_| AtomicUsize::new(0)).collect();
+        (0..ne).into_par_iter().for_each(|e| {
+            let (i, j, _) = g.edge(e);
+            counts[i as usize].fetch_add(1, Ordering::Relaxed);
+            counts[j as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let counts: Vec<usize> = counts.into_iter().map(|c| c.into_inner()).collect();
+        let xadj = offsets_from_counts(&counts);
+        let total = xadj[nv];
+
+        // Scatter with per-vertex atomic cursors.
+        let cursor: Vec<AtomicUsize> =
+            xadj[..nv].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let mut adj = vec![0u32; total];
+        let mut wgt = vec![0u64; total];
+        {
+            let adj_c = pcd_util::atomics::as_atomic_u32(&mut adj);
+            let wgt_c = pcd_util::atomics::as_atomic_u64(&mut wgt);
+            (0..ne).into_par_iter().for_each(|e| {
+                let (i, j, w) = g.edge(e);
+                let pi = cursor[i as usize].fetch_add(1, Ordering::Relaxed);
+                adj_c[pi].store(j, Ordering::Relaxed);
+                wgt_c[pi].store(w, Ordering::Relaxed);
+                let pj = cursor[j as usize].fetch_add(1, Ordering::Relaxed);
+                adj_c[pj].store(i, Ordering::Relaxed);
+                wgt_c[pj].store(w, Ordering::Relaxed);
+            });
+        }
+
+        // Deterministic neighbour order within each vertex.
+        let mut zipped: Vec<(usize, usize)> = (0..nv).map(|v| (xadj[v], xadj[v + 1])).collect();
+        let adj_ptr = SyncSliceMut(adj.as_mut_ptr());
+        let wgt_ptr = SyncSliceMut(wgt.as_mut_ptr());
+        zipped.par_iter_mut().for_each(|&mut (b, e)| {
+            // Disjoint ranges per vertex make the raw-pointer access safe.
+            let (adj_ptr, wgt_ptr) = (&adj_ptr, &wgt_ptr);
+            unsafe {
+                let a = std::slice::from_raw_parts_mut(adj_ptr.0.add(b), e - b);
+                let w = std::slice::from_raw_parts_mut(wgt_ptr.0.add(b), e - b);
+                let mut perm: Vec<usize> = (0..a.len()).collect();
+                perm.sort_unstable_by_key(|&k| a[k]);
+                let a2: Vec<u32> = perm.iter().map(|&k| a[k]).collect();
+                let w2: Vec<u64> = perm.iter().map(|&k| w[k]).collect();
+                a.copy_from_slice(&a2);
+                w.copy_from_slice(&w2);
+            }
+        });
+
+        Csr {
+            xadj,
+            adj,
+            wgt,
+            self_loop: g.self_loops().to_vec(),
+            total_weight: g.total_weight(),
+        }
+    }
+
+    #[inline]
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Degree (number of distinct neighbours) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Neighbours of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
+        self.adj[r.clone()].iter().copied().zip(self.wgt[r].iter().copied())
+    }
+
+    /// Weighted degree including self-loop volume:
+    /// `vol(v) = 2·self_loop(v) + Σ w`.
+    pub fn volume(&self, v: VertexId) -> Weight {
+        let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
+        2 * self.self_loop[v as usize] + self.wgt[r].iter().sum::<u64>()
+    }
+}
+
+/// Send+Sync wrapper for a raw pointer used only on disjoint ranges.
+struct SyncSliceMut<T>(*mut T);
+unsafe impl<T> Sync for SyncSliceMut<T> {}
+unsafe impl<T> Send for SyncSliceMut<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path4() -> Graph {
+        GraphBuilder::new(4).add_pairs([(0, 1), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let csr = Csr::from_graph(&path4());
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(1), 2);
+        assert_eq!(csr.degree(2), 2);
+        assert_eq!(csr.degree(3), 1);
+        let n1: Vec<_> = csr.neighbors(1).collect();
+        assert_eq!(n1, vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = GraphBuilder::new(6)
+            .add_pairs([(3, 5), (3, 0), (3, 4), (3, 1), (3, 2)])
+            .build();
+        let csr = Csr::from_graph(&g);
+        let n: Vec<_> = csr.neighbors(3).map(|(v, _)| v).collect();
+        assert_eq!(n, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn volume_matches_graph() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 2)
+            .add_edge(1, 2, 3)
+            .add_self_loop(1, 5)
+            .build();
+        let csr = Csr::from_graph(&g);
+        let vols = g.volumes();
+        for v in 0..3u32 {
+            assert_eq!(csr.volume(v), vols[v as usize]);
+        }
+    }
+
+    #[test]
+    fn total_adjacency_is_twice_edges() {
+        let g = path4();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.adj.len(), 2 * g.num_edges());
+        assert_eq!(csr.total_weight, g.total_weight());
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_ranges() {
+        let g = GraphBuilder::new(5).add_pairs([(0, 4)]).build();
+        let csr = Csr::from_graph(&g);
+        for v in [1u32, 2, 3] {
+            assert_eq!(csr.degree(v), 0);
+            assert_eq!(csr.neighbors(v).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Induced subgraphs and vertex relabelling.
+//!
+//! Used to extract the largest connected component of generated R-MAT graphs
+//! (§V-B) and to build arbitrary vertex-subset views for analysis.
+
+use crate::components::{components, largest_component_label};
+use crate::{builder, Graph};
+use pcd_util::{VertexId, NO_VERTEX};
+use rayon::prelude::*;
+
+/// Result of extracting a vertex-induced subgraph.
+pub struct Extracted {
+    /// The induced subgraph with dense new ids `0..n'`.
+    pub graph: Graph,
+    /// `old_of_new[new] = old` vertex id.
+    pub old_of_new: Vec<VertexId>,
+    /// `new_of_old[old] = new` id, or [`NO_VERTEX`] if dropped.
+    pub new_of_old: Vec<VertexId>,
+}
+
+/// Induces the subgraph on the vertices where `keep[v]` is true,
+/// relabelling them densely in ascending old-id order (deterministic).
+pub fn induce(g: &Graph, keep: &[bool]) -> Extracted {
+    assert_eq!(keep.len(), g.num_vertices());
+    let mut new_of_old = vec![NO_VERTEX; g.num_vertices()];
+    let mut old_of_new = Vec::new();
+    for (old, &k) in keep.iter().enumerate() {
+        if k {
+            new_of_old[old] = old_of_new.len() as VertexId;
+            old_of_new.push(old as VertexId);
+        }
+    }
+    let nv = old_of_new.len();
+
+    let mut edges: Vec<(VertexId, VertexId, u64)> = g
+        .par_edges()
+        .filter_map(|(i, j, w)| {
+            let (ni, nj) = (new_of_old[i as usize], new_of_old[j as usize]);
+            (ni != NO_VERTEX && nj != NO_VERTEX).then_some((ni, nj, w))
+        })
+        .collect();
+    // Carry surviving self-loops through as (v, v, w) entries.
+    edges.extend(old_of_new.iter().enumerate().filter_map(|(new, &old)| {
+        let w = g.self_loop(old);
+        (w > 0).then_some((new as VertexId, new as VertexId, w))
+    }));
+
+    Extracted {
+        graph: builder::from_edges(nv, edges),
+        old_of_new,
+        new_of_old,
+    }
+}
+
+/// Extracts the largest connected component, as the paper's R-MAT pipeline
+/// does before measuring.
+pub fn largest_component(g: &Graph) -> Extracted {
+    let label = components(g);
+    let (rep, _) = largest_component_label(&label);
+    let keep: Vec<bool> = label.par_iter().map(|&l| l == rep).collect();
+    induce(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn induce_keeps_internal_edges_only() {
+        let g = GraphBuilder::new(5)
+            .add_pairs([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        let keep = vec![true, true, true, false, false];
+        let ex = induce(&g, &keep);
+        assert_eq!(ex.graph.num_vertices(), 3);
+        assert_eq!(ex.graph.num_edges(), 2); // 0-1, 1-2 survive
+        assert_eq!(ex.old_of_new, vec![0, 1, 2]);
+        assert_eq!(ex.new_of_old[3], NO_VERTEX);
+    }
+
+    #[test]
+    fn induce_preserves_weights_and_self_loops() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 7)
+            .add_self_loop(1, 5)
+            .add_edge(1, 2, 2)
+            .build();
+        let ex = induce(&g, &[true, true, false]);
+        assert_eq!(ex.graph.total_weight(), 12); // 7 + self 5
+        assert_eq!(ex.graph.self_loop(ex.new_of_old[1]), 5);
+    }
+
+    #[test]
+    fn largest_component_picks_biggest() {
+        let g = GraphBuilder::new(8)
+            .add_pairs([(0, 1), (2, 3), (3, 4), (4, 5), (5, 2), (6, 7)])
+            .build();
+        let ex = largest_component(&g);
+        assert_eq!(ex.graph.num_vertices(), 4);
+        assert_eq!(ex.graph.num_edges(), 4);
+        assert_eq!(ex.old_of_new, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn mapping_roundtrips() {
+        let g = GraphBuilder::new(6).add_pairs([(1, 3), (3, 5)]).build();
+        let ex = induce(&g, &[false, true, false, true, false, true]);
+        for (new, &old) in ex.old_of_new.iter().enumerate() {
+            assert_eq!(ex.new_of_old[old as usize] as usize, new);
+        }
+    }
+}

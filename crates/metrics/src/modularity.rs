@@ -1,0 +1,171 @@
+//! Newman–Girvan modularity.
+//!
+//! With `m` the total edge weight, `in_c` the weight inside community `c`
+//! and `vol_c` its total degree weight (`Σ vol = 2m`):
+//!
+//! ```text
+//! Q = Σ_c [ in_c / m  −  (vol_c / 2m)² ]
+//! ```
+
+use pcd_graph::Graph;
+use pcd_util::atomics::as_atomic_u64;
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Modularity of `assignment` over (possibly contracted) graph `g`.
+/// `assignment[v]` is the community of vertex `v`; ids need not be dense.
+pub fn modularity(g: &Graph, assignment: &[VertexId]) -> f64 {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let m = g.total_weight();
+    if m == 0 {
+        return 0.0;
+    }
+    let k = assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1);
+
+    let mut internal = vec![0u64; k];
+    let mut volume = vec![0u64; k];
+    {
+        let in_c = as_atomic_u64(&mut internal);
+        let vol_c = as_atomic_u64(&mut volume);
+        (0..g.num_vertices()).into_par_iter().for_each(|v| {
+            let c = assignment[v] as usize;
+            let s = g.self_loop(v as u32);
+            if s > 0 {
+                in_c[c].fetch_add(s, Ordering::Relaxed);
+                vol_c[c].fetch_add(2 * s, Ordering::Relaxed);
+            }
+        });
+        (0..g.num_edges()).into_par_iter().for_each(|e| {
+            let (i, j, w) = g.edge(e);
+            let (ci, cj) = (assignment[i as usize] as usize, assignment[j as usize] as usize);
+            vol_c[ci].fetch_add(w, Ordering::Relaxed);
+            vol_c[cj].fetch_add(w, Ordering::Relaxed);
+            if ci == cj {
+                in_c[ci].fetch_add(w, Ordering::Relaxed);
+            }
+        });
+    }
+    q_from_terms(m, &internal, &volume)
+}
+
+/// Modularity of a *community graph* where every vertex is one community:
+/// `in_c` is the vertex's self-loop, `vol_c` its volume. This is what the
+/// agglomerative driver tracks level by level.
+pub fn community_graph_modularity(g: &Graph) -> f64 {
+    let m = g.total_weight();
+    if m == 0 {
+        return 0.0;
+    }
+    let vol = g.volumes();
+    let internal: Vec<Weight> = g.self_loops().to_vec();
+    q_from_terms(m, &internal, &vol)
+}
+
+fn q_from_terms(m: Weight, internal: &[Weight], volume: &[Weight]) -> f64 {
+    let m = m as f64;
+    internal
+        .par_iter()
+        .zip(volume.par_iter())
+        .map(|(&inc, &vol)| {
+            let frac = vol as f64 / (2.0 * m);
+            inc as f64 / m - frac * frac
+        })
+        .sum()
+}
+
+/// Change in modularity from merging communities `i` and `j` connected by
+/// weight `w_ij`, with volumes `vol_i`, `vol_j` (the CNM delta):
+///
+/// ```text
+/// ΔQ = w_ij / m  −  vol_i · vol_j / (2 m²)
+/// ```
+#[inline]
+pub fn delta_modularity(m: Weight, w_ij: Weight, vol_i: Weight, vol_j: Weight) -> f64 {
+    let m = m as f64;
+    w_ij as f64 / m - (vol_i as f64 * vol_j as f64) / (2.0 * m * m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcd_graph::GraphBuilder;
+
+    #[test]
+    fn singletons_have_negative_q_on_clique() {
+        let g = pcd_gen::classic::clique(4);
+        let q = modularity(&g, &[0, 1, 2, 3]);
+        // All-singleton modularity = -Σ (vol/2m)² < 0.
+        assert!(q < 0.0);
+        // Equal to the community-graph form on the identity assignment.
+        assert!((q - community_graph_modularity(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_community_q_is_zero() {
+        let g = pcd_gen::classic::clique(5);
+        let q = modularity(&g, &[0; 5]);
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cliques_natural_split_is_good() {
+        let g = pcd_gen::classic::two_cliques(5);
+        let mut a = vec![0u32; 10];
+        a[5..].iter_mut().for_each(|x| *x = 1);
+        let q_split = modularity(&g, &a);
+        let q_merged = modularity(&g, &[0; 10]);
+        assert!(q_split > 0.4, "q_split = {q_split}");
+        assert!(q_split > q_merged);
+    }
+
+    #[test]
+    fn delta_matches_direct_difference() {
+        // Merge communities 0 and 1 of a path of 3 singletons.
+        let g = pcd_gen::classic::path(3);
+        let q_before = modularity(&g, &[0, 1, 2]);
+        let q_after = modularity(&g, &[0, 0, 2]);
+        let vol = g.volumes();
+        // Edge (0,1) has weight 1.
+        let dq = delta_modularity(g.total_weight(), 1, vol[0], vol[1]);
+        assert!((q_after - q_before - dq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_graph_modularity() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1, 10)
+            .add_edge(2, 3, 10)
+            .add_edge(1, 2, 1)
+            .build();
+        let q = modularity(&g, &[0, 0, 1, 1]);
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    fn community_graph_form_tracks_self_loops() {
+        // A community graph of two super-vertices, heavy inside.
+        let g = GraphBuilder::new(2)
+            .add_self_loop(0, 10)
+            .add_self_loop(1, 10)
+            .add_edge(0, 1, 1)
+            .build();
+        let q = community_graph_modularity(&g);
+        assert!(q > 0.4);
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        let g = pcd_graph::Graph::empty(3);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+        assert_eq!(community_graph_modularity(&g), 0.0);
+    }
+
+    #[test]
+    fn q_bounded_above_by_one() {
+        let g = pcd_gen::classic::clique_ring(6, 5);
+        let truth = pcd_gen::classic::clique_ring_truth(6, 5);
+        let q = modularity(&g, &truth);
+        assert!(q <= 1.0 && q > 0.5, "q = {q}");
+    }
+}

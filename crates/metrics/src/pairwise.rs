@@ -1,0 +1,126 @@
+//! Pairwise-agreement metrics between two assignments: precision, recall,
+//! F1 over co-membership pairs, and the van Dongen split-join distance.
+//! These complement NMI/ARI with more interpretable numbers.
+
+use pcd_util::VertexId;
+use std::collections::HashMap;
+
+/// Pairwise precision/recall/F1 of `predicted` against `truth`, counting
+/// vertex pairs placed in the same community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseScores {
+    /// Fraction of predicted co-member pairs that are true pairs.
+    pub precision: f64,
+    /// Fraction of true co-member pairs recovered.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes pairwise co-membership agreement via the contingency table
+/// (O(n + #distinct pairs), no quadratic pair enumeration).
+pub fn pairwise_scores(predicted: &[VertexId], truth: &[VertexId]) -> PairwiseScores {
+    assert_eq!(predicted.len(), truth.len());
+    let choose2 = |x: u64| x * x.saturating_sub(1) / 2;
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut mp: HashMap<u32, u64> = HashMap::new();
+    let mut mt: HashMap<u32, u64> = HashMap::new();
+    for (&p, &t) in predicted.iter().zip(truth.iter()) {
+        *joint.entry((p, t)).or_insert(0) += 1;
+        *mp.entry(p).or_insert(0) += 1;
+        *mt.entry(t).or_insert(0) += 1;
+    }
+    let tp: u64 = joint.values().map(|&c| choose2(c)).sum();
+    let pred_pairs: u64 = mp.values().map(|&c| choose2(c)).sum();
+    let true_pairs: u64 = mt.values().map(|&c| choose2(c)).sum();
+    let precision = if pred_pairs == 0 { 1.0 } else { tp as f64 / pred_pairs as f64 };
+    let recall = if true_pairs == 0 { 1.0 } else { tp as f64 / true_pairs as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairwiseScores { precision, recall, f1 }
+}
+
+/// Van Dongen split-join distance, normalised to `[0, 1]`:
+/// `1/(2n)·[(n − Σ_A max overlap) + (n − Σ_B max overlap)]`.
+/// 0 = identical partitions.
+pub fn split_join_distance(a: &[VertexId], b: &[VertexId]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        *joint.entry((x, y)).or_insert(0) += 1;
+    }
+    let mut best_a: HashMap<u32, u64> = HashMap::new();
+    let mut best_b: HashMap<u32, u64> = HashMap::new();
+    for (&(x, y), &c) in &joint {
+        let ba = best_a.entry(x).or_insert(0);
+        *ba = (*ba).max(c);
+        let bb = best_b.entry(y).or_insert(0);
+        *bb = (*bb).max(c);
+    }
+    let sa: u64 = best_a.values().sum();
+    let sb: u64 = best_b.values().sum();
+    ((n as u64 - sa) + (n as u64 - sb)) as f64 / (2 * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions() {
+        let a = vec![0u32, 0, 1, 1, 2];
+        let s = pairwise_scores(&a, &a);
+        assert_eq!(s, PairwiseScores { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(split_join_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn relabelling_is_free() {
+        let a = vec![0u32, 0, 1, 1];
+        let b = vec![9u32, 9, 4, 4];
+        assert_eq!(pairwise_scores(&a, &b).f1, 1.0);
+        assert_eq!(split_join_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn overmerging_hurts_precision_not_recall() {
+        let truth = vec![0u32, 0, 1, 1];
+        let pred = vec![0u32, 0, 0, 0];
+        let s = pairwise_scores(&pred, &truth);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversplitting_hurts_recall_not_precision() {
+        let truth = vec![0u32, 0, 0, 0];
+        let pred = vec![0u32, 0, 1, 1];
+        let s = pairwise_scores(&pred, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_join_symmetric_and_bounded() {
+        let a = vec![0u32, 0, 1, 1, 2, 2];
+        let b = vec![0u32, 1, 1, 2, 2, 0];
+        let d1 = split_join_distance(&a, &b);
+        let d2 = split_join_distance(&b, &a);
+        assert_eq!(d1, d2);
+        assert!(d1 > 0.0 && d1 <= 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(split_join_distance(&[], &[]), 0.0);
+        let s = pairwise_scores(&[], &[]);
+        assert_eq!(s.f1, 1.0);
+    }
+}

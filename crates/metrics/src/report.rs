@@ -1,0 +1,165 @@
+//! Per-community reports: everything an analyst wants to know about each
+//! detected community, computed in one parallel pass.
+
+use pcd_graph::Graph;
+use pcd_util::atomics::as_atomic_u64;
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Statistics of one community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityReport {
+    /// Community id.
+    pub id: VertexId,
+    /// Member count.
+    pub size: usize,
+    /// Edge weight fully inside the community.
+    pub internal_weight: Weight,
+    /// Edge weight crossing the boundary.
+    pub cut_weight: Weight,
+    /// `2·internal + cut`.
+    pub volume: Weight,
+    /// `cut / min(vol, 2m − vol)`; 0 for isolated communities.
+    pub conductance: f64,
+    /// `internal / (size·(size−1)/2)` — fraction of possible internal
+    /// pairs realised (unweighted view; >1 possible on multigraphs).
+    pub internal_density: f64,
+}
+
+/// Builds a report per community (dense ids `0..k` expected; see
+/// [`crate::compact_labels`]).
+pub fn community_reports(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityReport> {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let k = assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1);
+    let two_m = 2 * g.total_weight();
+
+    let mut size = vec![0u64; k];
+    let mut internal = vec![0u64; k];
+    let mut cut = vec![0u64; k];
+    {
+        let size_c = as_atomic_u64(&mut size);
+        let int_c = as_atomic_u64(&mut internal);
+        let cut_c = as_atomic_u64(&mut cut);
+        (0..g.num_vertices()).into_par_iter().for_each(|v| {
+            let c = assignment[v] as usize;
+            size_c[c].fetch_add(1, Ordering::Relaxed);
+            let s = g.self_loop(v as u32);
+            if s > 0 {
+                int_c[c].fetch_add(s, Ordering::Relaxed);
+            }
+        });
+        (0..g.num_edges()).into_par_iter().for_each(|e| {
+            let (i, j, w) = g.edge(e);
+            let (ci, cj) = (assignment[i as usize] as usize, assignment[j as usize] as usize);
+            if ci == cj {
+                int_c[ci].fetch_add(w, Ordering::Relaxed);
+            } else {
+                cut_c[ci].fetch_add(w, Ordering::Relaxed);
+                cut_c[cj].fetch_add(w, Ordering::Relaxed);
+            }
+        });
+    }
+
+    (0..k)
+        .map(|c| {
+            let volume = 2 * internal[c] + cut[c];
+            let denom = volume.min(two_m - volume);
+            let conductance = if denom == 0 { 0.0 } else { cut[c] as f64 / denom as f64 };
+            let pairs = size[c] * size[c].saturating_sub(1) / 2;
+            CommunityReport {
+                id: c as u32,
+                size: size[c] as usize,
+                internal_weight: internal[c],
+                cut_weight: cut[c],
+                volume,
+                conductance,
+                internal_density: if pairs == 0 {
+                    0.0
+                } else {
+                    internal[c] as f64 / pairs as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// The `top` communities by size, descending (ties by id).
+pub fn largest_communities(reports: &[CommunityReport], top: usize) -> Vec<&CommunityReport> {
+    let mut refs: Vec<&CommunityReport> = reports.iter().collect();
+    refs.sort_by_key(|r| (std::cmp::Reverse(r.size), r.id));
+    refs.truncate(top);
+    refs
+}
+
+impl std::fmt::Display for CommunityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "community {:>6}: {:>7} members, internal {:>9}, cut {:>8}, phi {:.4}, density {:.3}",
+            self.id, self.size, self.internal_weight, self.cut_weight,
+            self.conductance, self.internal_density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cliques_reports() {
+        let g = pcd_gen::classic::two_cliques(5);
+        let mut a = vec![0u32; 10];
+        a[5..].iter_mut().for_each(|x| *x = 1);
+        let reports = community_reports(&g, &a);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.size, 5);
+            assert_eq!(r.internal_weight, 10);
+            assert_eq!(r.cut_weight, 1);
+            assert_eq!(r.volume, 21);
+            assert!((r.internal_density - 1.0).abs() < 1e-12);
+            assert!((r.conductance - 1.0 / 21.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reports_agree_with_conductance_module() {
+        let g = pcd_gen::classic::clique_ring(5, 5);
+        let a = pcd_gen::classic::clique_ring_truth(5, 5);
+        let reports = community_reports(&g, &a);
+        let phis = crate::community_conductances(&g, &a);
+        for (r, phi) in reports.iter().zip(phis.iter()) {
+            assert!((r.conductance - phi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn volumes_sum_to_two_m() {
+        let g = pcd_gen::classic::clique_ring(4, 6);
+        let a = pcd_gen::classic::clique_ring_truth(4, 6);
+        let reports = community_reports(&g, &a);
+        let total: u64 = reports.iter().map(|r| r.volume).sum();
+        assert_eq!(total, 2 * g.total_weight());
+    }
+
+    #[test]
+    fn largest_sorted() {
+        let g = pcd_graph::GraphBuilder::new(5).add_pairs([(0, 1), (2, 3)]).build();
+        let a = vec![0u32, 0, 1, 1, 2];
+        let reports = community_reports(&g, &a);
+        let top = largest_communities(&reports, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].size >= top[1].size);
+        assert_eq!(top[0].id, 0); // tie between sizes 2 and 2 -> smaller id
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = pcd_gen::classic::two_cliques(3);
+        let reports = community_reports(&g, &[0, 0, 0, 1, 1, 1]);
+        let s = reports[0].to_string();
+        assert!(s.contains("members"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Community size distributions and coverage.
+
+use pcd_graph::Graph;
+use pcd_util::atomics::as_atomic_u64;
+use pcd_util::VertexId;
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Number of members per community (dense ids assumed; use
+/// [`crate::compact_labels`] first if needed).
+pub fn community_sizes(assignment: &[VertexId]) -> Vec<usize> {
+    let k = assignment.iter().copied().max().map_or(0, |x| x as usize + 1);
+    let mut sizes = vec![0u64; k];
+    {
+        let cells = as_atomic_u64(&mut sizes);
+        assignment.par_iter().for_each(|&c| {
+            cells[c as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    sizes.into_iter().map(|s| s as usize).collect()
+}
+
+/// Summary of a community size distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeStats {
+    /// Non-empty community count.
+    pub num_communities: usize,
+    /// Smallest community size.
+    pub min: usize,
+    /// Largest community size.
+    pub max: usize,
+    /// Mean community size.
+    pub mean: f64,
+}
+
+impl SizeStats {
+    /// Summarises the sizes of an assignment.
+    pub fn from_assignment(assignment: &[VertexId]) -> Self {
+        let sizes = community_sizes(assignment);
+        let nonempty: Vec<usize> = sizes.into_iter().filter(|&s| s > 0).collect();
+        if nonempty.is_empty() {
+            return SizeStats { num_communities: 0, min: 0, max: 0, mean: 0.0 };
+        }
+        SizeStats {
+            num_communities: nonempty.len(),
+            min: *nonempty.iter().min().unwrap(),
+            max: *nonempty.iter().max().unwrap(),
+            mean: nonempty.iter().sum::<usize>() as f64 / nonempty.len() as f64,
+        }
+    }
+}
+
+/// Coverage of `assignment` over `g`: fraction of total weight falling
+/// inside communities (self-loops always count as internal).
+pub fn coverage(g: &Graph, assignment: &[VertexId]) -> f64 {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let m = g.total_weight();
+    if m == 0 {
+        return 1.0;
+    }
+    let internal_edges: u64 = (0..g.num_edges())
+        .into_par_iter()
+        .map(|e| {
+            let (i, j, w) = g.edge(e);
+            if assignment[i as usize] == assignment[j as usize] {
+                w
+            } else {
+                0
+            }
+        })
+        .sum();
+    (internal_edges + g.internal_weight()) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_counted() {
+        assert_eq!(community_sizes(&[0, 1, 1, 2, 1]), vec![1, 3, 1]);
+    }
+
+    #[test]
+    fn stats_skip_empty_ids() {
+        // Community 1 unused.
+        let s = SizeStats::from_assignment(&[0, 0, 2]);
+        assert_eq!(s.num_communities, 2);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.mean, 1.5);
+    }
+
+    #[test]
+    fn coverage_of_perfect_split() {
+        let g = pcd_gen::classic::two_cliques(5);
+        let mut a = vec![0u32; 10];
+        a[5..].iter_mut().for_each(|x| *x = 1);
+        // 20 internal edges of 21 total.
+        assert!((coverage(&g, &a) - 20.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_of_singletons_is_zero_without_self_loops() {
+        let g = pcd_gen::classic::ring(6);
+        let a: Vec<u32> = (0..6).collect();
+        assert_eq!(coverage(&g, &a), 0.0);
+    }
+
+    #[test]
+    fn coverage_all_in_one_is_one() {
+        let g = pcd_gen::classic::ring(6);
+        assert_eq!(coverage(&g, &[0; 6]), 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Contraction as the triple product `Sᵀ A S` (paper §VI).
+//!
+//! `A` is the symmetric weighted adjacency matrix with self-loop weights on
+//! the diagonal; `S` is the `|V| × k` selection matrix of an assignment.
+//! `(Sᵀ A S)[c][d]` is then the total weight between communities `c` and
+//! `d`, and the diagonal collects the new self-loop weights. This kernel
+//! accepts **any** assignment — not just matchings — so it also serves as
+//! the aggregation step for Louvain-style phases.
+
+use crate::CsrMatrix;
+use pcd_graph::{builder, Graph};
+use pcd_util::{VertexId, Weight};
+use rayon::prelude::*;
+
+/// Builds the adjacency matrix of a graph: off-diagonal entries mirror
+/// each stored edge; diagonal entries carry **twice** the self-loop
+/// weight, so that after `Sᵀ A S` every diagonal entry uniformly counts
+/// each internal edge twice and halving recovers exact self-loop weights.
+pub fn adjacency_matrix(g: &Graph) -> CsrMatrix {
+    let nv = g.num_vertices();
+    let mut triplets: Vec<(u32, u32, u64)> = Vec::with_capacity(2 * g.num_edges() + nv);
+    triplets.par_extend(g.par_edges().flat_map_iter(|(i, j, w)| [(i, j, w), (j, i, w)]));
+    triplets.extend(
+        g.self_loops()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0)
+            .map(|(v, &s)| (v as u32, v as u32, 2 * s)),
+    );
+    CsrMatrix::from_triplets(nv, nv, triplets)
+}
+
+/// Contracts `g` along an arbitrary assignment (dense ids `0..k`) via
+/// `Sᵀ A S`, returning the aggregated community graph.
+pub fn contract_spgemm(g: &Graph, assignment: &[VertexId], k: usize) -> Graph {
+    assert_eq!(assignment.len(), g.num_vertices());
+    let a = adjacency_matrix(g);
+    let s = CsrMatrix::selection(assignment, k);
+    let sta = s.transpose().multiply(&a); // k × |V|
+    let stas = sta.multiply(&s); // k × k
+
+    // Convert back to the single-copy bucketed graph. Each off-diagonal
+    // pair appears symmetrically (keep one copy); the diagonal counts
+    // every internal edge twice (both orientations of inter-member edges,
+    // and the doubled self-loop convention), so halve it.
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(stas.nnz());
+    for r in 0..stas.rows {
+        for (c, v) in stas.row(r) {
+            if (c as usize) == r {
+                debug_assert_eq!(v % 2, 0, "diagonal must be even");
+                edges.push((r as u32, c, v / 2));
+            } else if (c as usize) > r {
+                edges.push((r as u32, c, v));
+            }
+        }
+    }
+    builder::from_edges(k, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcd_contract::edge_fingerprint;
+
+    #[test]
+    fn adjacency_is_symmetric_with_diagonal() {
+        let g = pcd_graph::GraphBuilder::new(3)
+            .add_edge(0, 1, 2)
+            .add_self_loop(2, 5)
+            .build();
+        let a = adjacency_matrix(&g);
+        assert_eq!(a.get(0, 1), 2);
+        assert_eq!(a.get(1, 0), 2);
+        assert_eq!(a.get(2, 2), 10);
+        assert_eq!(a.validate(), Ok(()));
+    }
+
+    #[test]
+    fn identity_assignment_is_isomorphic() {
+        let g = pcd_gen::classic::clique_ring(3, 4);
+        let ids: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let c = contract_spgemm(&g, &ids, g.num_vertices());
+        assert_eq!(edge_fingerprint(&c), edge_fingerprint(&g));
+        assert_eq!(c.self_loops(), g.self_loops());
+    }
+
+    #[test]
+    fn matches_bucket_contraction_on_matchings() {
+        for seed in [3u64, 11, 27] {
+            let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, seed));
+            let scores: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+            let m = pcd_matching::match_unmatched_list(&g, &scores);
+            let bucketed = pcd_contract::contract(&g, &m);
+            let spg = contract_spgemm(&g, &bucketed.new_of_old, bucketed.num_new);
+            assert_eq!(
+                edge_fingerprint(&spg),
+                edge_fingerprint(&bucketed.graph),
+                "seed {seed}"
+            );
+            assert_eq!(spg.self_loops(), bucketed.graph.self_loops());
+            assert_eq!(spg.total_weight(), g.total_weight());
+        }
+    }
+
+    #[test]
+    fn arbitrary_assignment_aggregates() {
+        // Collapse a 6-clique into 2 communities of 3.
+        let g = pcd_gen::classic::clique(6);
+        let a = vec![0u32, 0, 0, 1, 1, 1];
+        let c = contract_spgemm(&g, &a, 2);
+        assert_eq!(c.num_vertices(), 2);
+        assert_eq!(c.self_loop(0), 3); // internal triangle
+        assert_eq!(c.self_loop(1), 3);
+        assert_eq!(c.num_edges(), 1);
+        assert_eq!(c.weights(), &[9]); // 3x3 cross edges
+        assert_eq!(c.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn all_in_one_community() {
+        let g = pcd_gen::classic::ring(5);
+        let c = contract_spgemm(&g, &[0; 5], 1);
+        assert_eq!(c.num_vertices(), 1);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.self_loop(0), 5);
+    }
+}

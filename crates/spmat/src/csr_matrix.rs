@@ -1,0 +1,323 @@
+//! A minimal parallel CSR sparse matrix over `u64` weights.
+
+use pcd_util::scan::offsets_from_counts;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Compressed-sparse-row matrix with unsigned integer values.
+///
+/// Invariants: `indptr.len() == rows + 1`, column indices within each row
+/// are sorted and unique, and all stored values are non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row offsets into `indices`/`values` (`rows + 1` entries).
+    pub indptr: Vec<usize>,
+    /// Column indices, sorted and unique within each row.
+    pub indices: Vec<u32>,
+    /// Non-zero values, aligned with `indices`.
+    pub values: Vec<u64>,
+}
+
+impl CsrMatrix {
+    /// Builds from unsorted COO triplets, accumulating duplicates and
+    /// dropping explicit zeros. Parallel and deterministic.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(u32, u32, u64)>,
+    ) -> Self {
+        triplets.retain(|&(r, c, v)| {
+            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of range");
+            v != 0
+        });
+        triplets.par_sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Accumulate runs (duplicates are adjacent after the sort).
+        let mut indptr_counts = vec![0usize; rows];
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &(r, c, v) in &triplets {
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("run has a head") += v;
+            } else {
+                indptr_counts[r as usize] += 1;
+                indices.push(c);
+                values.push(v);
+                prev = Some((r, c));
+            }
+        }
+        let indptr = offsets_from_counts(&indptr_counts);
+        CsrMatrix { rows, cols, indptr, indices, values }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity-like selection matrix from an assignment: row `v` has a
+    /// single 1 in column `assignment[v]`. Shape `(n, k)`.
+    pub fn selection(assignment: &[u32], k: usize) -> Self {
+        let n = assignment.len();
+        let indptr: Vec<usize> = (0..=n).collect();
+        let indices = assignment.to_vec();
+        debug_assert!(assignment.iter().all(|&c| (c as usize) < k));
+        CsrMatrix { rows: n, cols: k, indptr, indices, values: vec![1; n] }
+    }
+
+    #[inline]
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Entries of row `r` as `(col, value)` pairs.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        self.indices[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Value at `(r, c)` (binary search within the row).
+    pub fn get(&self, r: usize, c: u32) -> u64 {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        match self.indices[range.clone()].binary_search(&c) {
+            Ok(i) => self.values[range.start + i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Parallel transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let counts = {
+            let c: Vec<AtomicUsize> = (0..self.cols).map(|_| AtomicUsize::new(0)).collect();
+            self.indices.par_iter().for_each(|&j| {
+                c[j as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()
+        };
+        let indptr = offsets_from_counts(&counts);
+        let cursor: Vec<AtomicUsize> =
+            indptr[..self.cols].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0u64; self.nnz()];
+        {
+            let idx = pcd_util::atomics::as_atomic_u32(&mut indices);
+            let val = pcd_util::atomics::as_atomic_u64(&mut values);
+            (0..self.rows).into_par_iter().for_each(|r| {
+                for (c, v) in self.row(r) {
+                    let pos = cursor[c as usize].fetch_add(1, Ordering::Relaxed);
+                    idx[pos].store(r as u32, Ordering::Relaxed);
+                    val[pos].store(v, Ordering::Relaxed);
+                }
+            });
+        }
+        // Rows were scattered in arbitrary order; sort each output row.
+        let mut out = CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        };
+        out.sort_rows();
+        out
+    }
+
+    /// Parallel SpGEMM: `self × rhs` with u64 accumulation.
+    pub fn multiply(&self, rhs: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch");
+        // Row-wise: each output row is a sparse accumulation over the
+        // contributing rhs rows. Gustavson's algorithm with a hash map
+        // accumulator per row (rows are processed in parallel).
+        let rows_out: Vec<(Vec<u32>, Vec<u64>)> = (0..self.rows)
+            .into_par_iter()
+            .map(|r| {
+                let mut acc: std::collections::HashMap<u32, u64> =
+                    std::collections::HashMap::new();
+                for (k, va) in self.row(r) {
+                    for (j, vb) in rhs.row(k as usize) {
+                        *acc.entry(j).or_insert(0) += va * vb;
+                    }
+                }
+                let mut cols: Vec<u32> = acc.keys().copied().collect();
+                cols.sort_unstable();
+                let vals: Vec<u64> = cols.iter().map(|c| acc[c]).collect();
+                (cols, vals)
+            })
+            .collect();
+        let counts: Vec<usize> = rows_out.iter().map(|(c, _)| c.len()).collect();
+        let indptr = offsets_from_counts(&counts);
+        let mut indices = Vec::with_capacity(indptr[self.rows]);
+        let mut values = Vec::with_capacity(indptr[self.rows]);
+        for (c, v) in rows_out {
+            indices.extend(c);
+            values.extend(v);
+        }
+        CsrMatrix { rows: self.rows, cols: rhs.cols, indptr, indices, values }
+    }
+
+    /// Sorts each row's entries by column (restores the invariant after a
+    /// scatter); disjoint row ranges allow safe parallel mutation.
+    fn sort_rows(&mut self) {
+        let ranges: Vec<(usize, usize)> =
+            (0..self.rows).map(|r| (self.indptr[r], self.indptr[r + 1])).collect();
+        let idx_ptr = SendPtr(self.indices.as_mut_ptr());
+        let val_ptr = SendPtr(self.values.as_mut_ptr());
+        ranges.into_par_iter().for_each(|(b, e)| {
+            let (idx_ptr, val_ptr) = (&idx_ptr, &val_ptr);
+            unsafe {
+                let ids = std::slice::from_raw_parts_mut(idx_ptr.0.add(b), e - b);
+                let vals = std::slice::from_raw_parts_mut(val_ptr.0.add(b), e - b);
+                let mut perm: Vec<usize> = (0..ids.len()).collect();
+                perm.sort_unstable_by_key(|&k| ids[k]);
+                let i2: Vec<u32> = perm.iter().map(|&k| ids[k]).collect();
+                let v2: Vec<u64> = perm.iter().map(|&k| vals[k]).collect();
+                ids.copy_from_slice(&i2);
+                vals.copy_from_slice(&v2);
+            }
+        });
+    }
+
+    /// Checks the CSR invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.indptr.len() != self.rows + 1 {
+            return Err("indptr length mismatch".into());
+        }
+        if self.indptr[0] != 0 || *self.indptr.last().unwrap() != self.nnz() {
+            return Err("indptr endpoints wrong".into());
+        }
+        if self.indices.len() != self.values.len() {
+            return Err("indices/values length mismatch".into());
+        }
+        for r in 0..self.rows {
+            if self.indptr[r] > self.indptr[r + 1] {
+                return Err(format!("row {r} has negative length"));
+            }
+            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("row {r} not sorted/unique"));
+            }
+            if row.iter().any(|&c| c as usize >= self.cols) {
+                return Err(format!("row {r} column out of range"));
+            }
+        }
+        if self.values.iter().any(|&v| v == 0) {
+            return Err("explicit zero stored".into());
+        }
+        Ok(())
+    }
+
+    /// Sum of all stored values.
+    pub fn sum(&self) -> u64 {
+        self.values.par_iter().sum()
+    }
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1), (0, 2, 2), (2, 0, 3), (2, 1, 4)])
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = small();
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(1, 1), 0);
+        assert_eq!(m.get(2, 1), 4);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 2), (0, 1, 3), (1, 0, 1)]);
+        assert_eq!(m.get(0, 1), 5);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zeros_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 0)]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.get(0, 2), 3);
+        assert_eq!(t.get(1, 2), 4);
+        assert_eq!(t.get(2, 0), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn multiply_identity() {
+        let m = small();
+        let id = CsrMatrix::selection(&[0, 1, 2], 3);
+        assert_eq!(m.multiply(&id), m);
+        assert_eq!(id.multiply(&m), m);
+    }
+
+    #[test]
+    fn multiply_known_product() {
+        // [1 2]   [0 1]   [2 1]
+        // [3 0] x [1 0] = [0 3]
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1), (0, 1, 2), (1, 0, 3)]);
+        let b = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1), (1, 0, 1)]);
+        let c = a.multiply(&b);
+        assert_eq!(c.get(0, 0), 2);
+        assert_eq!(c.get(0, 1), 1);
+        assert_eq!(c.get(1, 0), 0);
+        assert_eq!(c.get(1, 1), 3);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn selection_collapses_columns() {
+        // Sum rows 0 and 2 into community 0, row 1 into community 1.
+        let m = small();
+        let s = CsrMatrix::selection(&[0, 1, 0], 2);
+        let grouped = s.transpose().multiply(&m); // (2x3) · (3x3)
+        assert_eq!(grouped.get(0, 0), 4); // 1 + 3
+        assert_eq!(grouped.get(0, 1), 4);
+        assert_eq!(grouped.get(0, 2), 2);
+        assert_eq!(grouped.sum(), m.sum());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::zeros(3, 4);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.transpose().rows, 4);
+        assert_eq!(m.sum(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Sparse-matrix formulation of the agglomerative algorithm.
+//!
+//! The paper's §VI observes that "much of the algorithm can be expressed
+//! through sparse matrix operations, which may lead to explicitly
+//! distributed memory implementations through the Combinatorial BLAS".
+//! This crate realises that formulation shared-memory-first:
+//!
+//! * [`CsrMatrix`] — a general unsigned-weight CSR sparse matrix with
+//!   parallel construction, transpose and SpGEMM;
+//! * [`contraction::contract_spgemm`] — community-graph contraction as the
+//!   triple product `S<sup>T</sup> A S`, where `A` is the weighted
+//!   adjacency matrix (self-loops on the diagonal) and `S` the
+//!   vertex-to-community selection matrix. Unlike the matching-based
+//!   kernel, this accepts **any** assignment, not just pair merges.
+//!
+//! Differential tests pin the triple product against the paper's
+//! bucket-sort contraction.
+
+pub mod contraction;
+pub mod csr_matrix;
+
+pub use contraction::contract_spgemm;
+pub use csr_matrix::CsrMatrix;

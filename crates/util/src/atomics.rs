@@ -1,0 +1,202 @@
+//! Lock-free atomic helpers.
+//!
+//! The matching phase needs a per-vertex "best proposal so far" register that
+//! many threads race to improve. On the Cray XMT the paper used full/empty
+//! bits; under OpenMP it used locks. Here each register is a single
+//! `AtomicU64` holding a packed, totally ordered `(score, vertex)` key and
+//! updates are commutative CAS-maxes, which makes the matching result
+//! independent of thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maps an `f64` to a `u64` such that the unsigned integer order matches the
+/// total order on floats (with `-0.0 < +0.0`, and NaN ordered above all
+/// finite values — callers must not feed NaN scores; debug builds assert).
+///
+/// This is the standard sign-flip trick: non-negative floats get the sign
+/// bit set; negative floats are bitwise-inverted.
+#[inline]
+pub fn ord_f64(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "NaN score passed to ord_f64");
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`ord_f64`].
+#[inline]
+pub fn unord_f64(k: u64) -> f64 {
+    let bits = if k >> 63 == 1 { k & !(1 << 63) } else { !k };
+    f64::from_bits(bits)
+}
+
+/// Atomically sets `cell` to `max(cell, val)` and returns the previous value.
+#[inline]
+pub fn fetch_max_u64(cell: &AtomicU64, val: u64) -> u64 {
+    cell.fetch_max(val, Ordering::AcqRel)
+}
+
+/// Atomically adds `val` to an `f64` stored as bits in an `AtomicU64`.
+///
+/// Only used on cold paths (quality metrics); hot paths use integer weights
+/// precisely so they can use plain `fetch_add`.
+pub fn fetch_add_f64(cell: &AtomicU64, val: f64) -> f64 {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + val;
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(prev) => return f64::from_bits(prev),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Reinterprets a mutable slice of `u64` as atomic cells.
+///
+/// Safe: `AtomicU64` has the same layout as `u64`, and the unique borrow
+/// guarantees no other references exist for the lifetime of the view.
+#[inline]
+pub fn as_atomic_u64(slice: &mut [u64]) -> &[AtomicU64] {
+    unsafe { &*(slice as *mut [u64] as *const [AtomicU64]) }
+}
+
+/// Reinterprets a mutable slice of `u32` as atomic cells (same argument as
+/// [`as_atomic_u64`]).
+#[inline]
+pub fn as_atomic_u32(slice: &mut [u32]) -> &[std::sync::atomic::AtomicU32] {
+    unsafe { &*(slice as *mut [u32] as *const [std::sync::atomic::AtomicU32]) }
+}
+
+/// A packed `(score, vertex)` proposal key with a total order: primary on
+/// score, secondary on vertex id. Packing both into one `u64` would lose
+/// `f64` precision, so the key spans two words conceptually but we only need
+/// the *edge index* to recover everything; see `pcd-matching` for use.
+///
+/// Here we provide the simpler 64-bit packing used by the *old* edge-sweep
+/// matching baseline: a 32-bit monotone score approximation and the partner
+/// id. The new matching keeps exact `f64` scores in a side array and CASes
+/// edge indices instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedBest(pub u64);
+
+impl PackedBest {
+    /// The "no proposal yet" register value.
+    pub const EMPTY: PackedBest = PackedBest(0);
+
+    /// Packs a score and partner. The score is squashed to a monotone `f32`;
+    /// ties broken by partner id (higher id wins, matching the paper's
+    /// "score then vertex indices" total order arbitrarily oriented).
+    #[inline]
+    pub fn new(score: f64, partner: u32) -> Self {
+        let s = score as f32; // monotone squash
+        let bits = s.to_bits();
+        let key = if bits >> 31 == 0 { bits | (1 << 31) } else { !bits };
+        PackedBest(((key as u64) << 32) | partner as u64)
+    }
+
+    #[inline]
+    /// The packed partner id.
+    pub fn partner(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    #[inline]
+    /// True if no proposal has been packed.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ord_f64_is_monotone() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            3.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in xs.windows(2) {
+            assert!(ord_f64(w[0]) <= ord_f64(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert!(ord_f64(-0.0) < ord_f64(0.0));
+    }
+
+    #[test]
+    fn ord_f64_roundtrips() {
+        for &x in &[-123.75, -0.0, 0.0, 0.5, 42.0, f64::INFINITY] {
+            let y = unord_f64(ord_f64(x));
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fetch_max_keeps_largest() {
+        let c = AtomicU64::new(5);
+        assert_eq!(fetch_max_u64(&c, 3), 5);
+        assert_eq!(c.load(std::sync::atomic::Ordering::Relaxed), 5);
+        assert_eq!(fetch_max_u64(&c, 9), 5);
+        assert_eq!(c.load(std::sync::atomic::Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn fetch_add_f64_accumulates() {
+        let c = AtomicU64::new(0f64.to_bits());
+        fetch_add_f64(&c, 1.5);
+        fetch_add_f64(&c, 2.25);
+        assert_eq!(f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)), 3.75);
+    }
+
+    #[test]
+    fn fetch_add_f64_parallel_sum() {
+        use rayon::prelude::*;
+        let c = AtomicU64::new(0f64.to_bits());
+        (0..1000).into_par_iter().for_each(|_| {
+            fetch_add_f64(&c, 0.25);
+        });
+        assert_eq!(f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)), 250.0);
+    }
+
+    #[test]
+    fn packed_best_orders_by_score_then_partner() {
+        let a = PackedBest::new(1.0, 7);
+        let b = PackedBest::new(2.0, 3);
+        assert!(b.0 > a.0);
+        let c = PackedBest::new(1.0, 9);
+        assert!(c.0 > a.0); // tie on score -> higher partner wins
+        assert_eq!(c.partner(), 9);
+        assert!(PackedBest::EMPTY.is_empty());
+        // negative scores still order correctly and beat EMPTY? They must not:
+        // EMPTY is 0 and negative-score keys are > 0 after the flip, which is
+        // fine because the matching never proposes non-positive scores.
+        assert!(PackedBest::new(-1.0, 1).0 > 0);
+    }
+
+    #[test]
+    fn as_atomic_views_alias_storage() {
+        let mut v = vec![0u64; 4];
+        {
+            let a = as_atomic_u64(&mut v);
+            a[2].store(99, std::sync::atomic::Ordering::Relaxed);
+        }
+        assert_eq!(v[2], 99);
+        let mut w = vec![0u32; 4];
+        {
+            let a = as_atomic_u32(&mut w);
+            a[1].store(7, std::sync::atomic::Ordering::Relaxed);
+        }
+        assert_eq!(w[1], 7);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Shared low-level utilities for the parallel community detection crates.
+//!
+//! The paper's Cray XMT implementation leans on full/empty bits and the
+//! OpenMP port on explicit locks; this crate collects the Rust equivalents
+//! used throughout the workspace:
+//!
+//! * [`atomics`] — CAS-based fetch-max over packed `(score, index)` keys and
+//!   atomic `f64` accumulation, replacing XMT full/empty-bit hot spots.
+//! * [`scan`] — parallel exclusive prefix sums, used to assign contiguous
+//!   vertex ids and bucket offsets during contraction.
+//! * [`rng`] — deterministic per-index ChaCha streams so generated graphs do
+//!   not depend on thread count or work partitioning.
+//! * [`timing`] — wall-clock timers and run statistics for the benchmark
+//!   harness (the paper reports min/median over three runs).
+//! * [`pool`] — helpers for running a closure on a rayon pool of an exact
+//!   size, the analogue of `OMP_NUM_THREADS` sweeps.
+
+pub mod atomics;
+pub mod pool;
+pub mod rng;
+pub mod scan;
+pub mod timing;
+
+/// Vertex identifier. The paper stores 64-bit labels on the XMT and 32-bit
+/// labels for the largest graph on Intel; 32 bits cover every graph this
+/// reproduction targets.
+pub type VertexId = u32;
+
+/// Edge weight: the *count* of input-graph edges collapsed into a
+/// community-graph edge (or contained in a community, for self-loops).
+/// Integer weights make parallel accumulation order-independent.
+pub type Weight = u64;
+
+/// Sentinel meaning "no vertex" (unmatched, no parent, ...).
+pub const NO_VERTEX: VertexId = VertexId::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_is_max() {
+        assert_eq!(NO_VERTEX, u32::MAX);
+    }
+}

@@ -1,0 +1,65 @@
+//! Rayon thread-pool helpers.
+//!
+//! The paper sweeps `OMP_NUM_THREADS` (or XMT processor counts); the
+//! benchmark harness sweeps rayon pool sizes through [`with_threads`].
+
+/// Runs `f` inside a dedicated rayon pool with exactly `threads` workers.
+///
+/// All `par_iter` work spawned inside `f` executes on that pool, so a sweep
+/// over `threads` reproduces the paper's thread-count scaling axis.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// The thread counts used for a scaling sweep on this host: powers of two up
+/// to the number of logical CPUs, always including the maximum.
+pub fn sweep_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = Vec::new();
+    let mut t = 1;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.push(max);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_threads_limits_pool() {
+        let seen = with_threads(2, || {
+            (0..64)
+                .into_par_iter()
+                .map(|_| rayon::current_num_threads())
+                .max()
+                .unwrap()
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn with_threads_returns_value() {
+        assert_eq!(with_threads(1, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn sweep_is_sorted_unique_and_ends_at_max() {
+        let counts = sweep_thread_counts();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(counts[0], 1);
+        let max = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(*counts.last().unwrap(), max);
+    }
+}

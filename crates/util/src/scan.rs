@@ -1,0 +1,119 @@
+//! Parallel prefix sums.
+//!
+//! Contraction assigns new vertex ids and bucket offsets with an exclusive
+//! prefix sum (§IV-C of the paper mentions "synchronizing on a prefix sum to
+//! compute bucket offsets"). The implementation is the classic two-pass
+//! blocked scan: per-block sums, a sequential scan over the (few) block
+//! totals, then a parallel fix-up pass.
+
+use rayon::prelude::*;
+
+/// Minimum work per block; below this a sequential scan is faster.
+const SEQ_CUTOFF: usize = 1 << 14;
+
+/// In-place exclusive prefix sum over `usize` values; returns the total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and returns `8`.
+pub fn exclusive_prefix_sum(data: &mut [usize]) -> usize {
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= SEQ_CUTOFF {
+        return seq_exclusive(data);
+    }
+    let nblocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(nblocks);
+    // Pass 1: per-block inclusive sums of the raw data.
+    let mut block_sums: Vec<usize> = data
+        .par_chunks(block)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    // Scan block totals sequentially (tiny).
+    let total = seq_exclusive(&mut block_sums);
+    // Pass 2: per-block exclusive scan seeded with the block offset.
+    data.par_chunks_mut(block)
+        .zip(block_sums.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let mut acc = offset;
+            for x in chunk.iter_mut() {
+                let v = *x;
+                *x = acc;
+                acc += v;
+            }
+        });
+    total
+}
+
+fn seq_exclusive(data: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in data.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Exclusive prefix sum into a fresh vector of length `data.len() + 1`, with
+/// the grand total in the last slot. This is the CSR "xadj" shape.
+pub fn offsets_from_counts(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    out.extend_from_slice(counts);
+    out.push(0);
+    exclusive_prefix_sum(&mut out[..counts.len()]);
+    let total: usize = if counts.is_empty() {
+        0
+    } else {
+        out[counts.len() - 1] + counts[counts.len() - 1]
+    };
+    out[counts.len()] = total;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_scan() {
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut v), 0);
+    }
+
+    #[test]
+    fn small_scan() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn large_scan_matches_sequential() {
+        let n = 100_000;
+        let orig: Vec<usize> = (0..n).map(|i| (i * 2654435761) % 17).collect();
+        let mut par = orig.clone();
+        let t_par = exclusive_prefix_sum(&mut par);
+        let mut acc = 0usize;
+        let mut seq = Vec::with_capacity(n);
+        for &x in &orig {
+            seq.push(acc);
+            acc += x;
+        }
+        assert_eq!(par, seq);
+        assert_eq!(t_par, acc);
+    }
+
+    #[test]
+    fn offsets_shape() {
+        let counts = vec![2usize, 0, 3, 1];
+        let off = offsets_from_counts(&counts);
+        assert_eq!(off, vec![0, 2, 2, 5, 6]);
+    }
+
+    #[test]
+    fn offsets_empty() {
+        assert_eq!(offsets_from_counts(&[]), vec![0]);
+    }
+}

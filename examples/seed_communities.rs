@@ -1,0 +1,63 @@
+//! Local community detection from seed vertices (Andersen–Lang, the
+//! paper's conductance reference [22]) contrasted with the global
+//! agglomerative detector.
+//!
+//! Run with: `cargo run --release --example seed_communities`
+
+use parcomm::baseline::seed_expand;
+use parcomm::prelude::*;
+
+fn main() {
+    let sbm = parcomm::gen::sbm_graph(&parcomm::gen::SbmParams {
+        num_vertices: 20_000,
+        min_community: 30,
+        max_community: 300,
+        size_exponent: 1.6,
+        internal_degree: 10.0,
+        external_degree: 1.5,
+        seed: 21,
+    });
+    let g = &sbm.graph;
+    println!(
+        "sbm graph: {} vertices, {} edges, {} planted communities",
+        g.num_vertices(),
+        g.num_edges(),
+        sbm.num_communities
+    );
+
+    // Global detection once, for comparison.
+    let global = detect(g.clone(), &Config::default());
+
+    println!("\nseed expansion vs global community (5 random-ish seeds):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "seed", "planted size", "seed size", "global size", "precision", "phi"
+    );
+    for seed in [3u32, 1111, 4242, 9000, 17777] {
+        let truth_c = sbm.ground_truth[seed as usize];
+        let planted: usize =
+            sbm.ground_truth.iter().filter(|&&c| c == truth_c).count();
+        let local = seed_expand(g, seed, 4 * planted);
+        let inside = local
+            .members
+            .iter()
+            .filter(|&&v| sbm.ground_truth[v as usize] == truth_c)
+            .count();
+        let global_c = global.assignment[seed as usize];
+        let global_size = global
+            .assignment
+            .iter()
+            .filter(|&&c| c == global_c)
+            .count();
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>10.3} {:>10.4}",
+            seed,
+            planted,
+            local.members.len(),
+            global_size,
+            inside as f64 / local.members.len() as f64,
+            local.conductance
+        );
+    }
+    println!("\nglobal detector: {} communities, Q = {:.4}", global.num_communities, global.modularity);
+}

@@ -1,0 +1,59 @@
+//! Scaling study on a web-crawl-like graph (the paper's uk-2007-05
+//! scenario): run the detector across a sweep of thread counts and report
+//! time, speed-up and the phase breakdown.
+//!
+//! Run with: `cargo run --release --example web_graph [num_vertices]`
+
+use parcomm::prelude::*;
+use parcomm::util::pool::{sweep_thread_counts, with_threads};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    println!("generating web-crawl-like graph, n = {n} ...");
+    let params = parcomm::gen::WebParams::uk_like(n, 7);
+    let web = parcomm::gen::web_graph(&params);
+    println!(
+        "  {} vertices, {} edges, {} domains / {} sites",
+        web.graph.num_vertices(),
+        web.graph.num_edges(),
+        web.num_domains,
+        web.num_sites
+    );
+
+    // The paper's performance configuration: stop at coverage >= 0.5.
+    let config = Config::paper_performance();
+    let ne = web.graph.num_edges() as f64;
+
+    println!("\nthreads      time     speedup   edges/s    contraction%");
+    let mut t1 = None;
+    for threads in sweep_thread_counts() {
+        let g = web.graph.clone();
+        let cfg = config.clone();
+        let t = Instant::now();
+        let result = with_threads(threads, move || detect(g, &cfg));
+        let secs = t.elapsed().as_secs_f64();
+        let base = *t1.get_or_insert(secs);
+        println!(
+            "{:>7}  {:>7.2}s  {:>9.2}x  {:>8.2e}  {:>12.0}%",
+            threads,
+            secs,
+            base / secs,
+            ne / secs,
+            100.0 * result.contraction_fraction()
+        );
+    }
+
+    // Check the hierarchy the detector finds against the planted one.
+    let result = detect(web.graph.clone(), &Config::default());
+    let nmi_site = normalized_mutual_information(&result.assignment, &web.site_of);
+    let nmi_domain = normalized_mutual_information(&result.assignment, &web.domain_of);
+    println!(
+        "\nquality at local maximum: Q = {:.4}, NMI vs sites = {:.3}, vs domains = {:.3}",
+        result.modularity, nmi_site, nmi_domain
+    );
+}

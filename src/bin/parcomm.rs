@@ -1,0 +1,326 @@
+//! `parcomm` — command-line community detection.
+//!
+//! ```text
+//! parcomm gen <rmat|sbm|web|lfr|clique-ring|karate> [options] -o <file>
+//! parcomm detect <graph-file> [options]
+//! parcomm stats <graph-file>
+//! parcomm convert <in-file> <out-file>
+//! parcomm compare <graph-file>          # vs CNM / Louvain / label prop
+//! parcomm seed <graph-file> <vertex>    # Andersen-Lang seed expansion
+//! parcomm communities <graph-file> [--top N]  # per-community report
+//!
+//! gen options:
+//!   --scale N       R-MAT scale (rmat)
+//!   --vertices N    vertex count (sbm / web)
+//!   --cliques K --size S   (clique-ring)
+//!   --seed N
+//! detect options:
+//!   --scorer modularity|conductance|heavy
+//!   --coverage F    stop at coverage >= F (paper rule: 0.5)
+//!   --max-levels N
+//!   --max-size N    mask merges creating communities above N vertices
+//!   --refine N      run N refinement sweeps afterwards
+//!   --threads N
+//!   --assignments FILE   write "vertex community" lines
+//! ```
+//!
+//! Files ending in `.bin` use the compact binary format; anything else is
+//! a whitespace edge list.
+
+use parcomm::core::refine::detect_refined;
+use parcomm::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: parcomm <gen|detect|stats|convert> ... (see --help in source)");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "detect" => cmd_detect(rest),
+        "stats" => cmd_stats(rest),
+        "convert" => cmd_convert(rest),
+        "compare" => cmd_compare(rest),
+        "seed" => cmd_seed(rest),
+        "communities" => cmd_communities(rest),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+        }
+    }
+
+    fn positional(&self, idx: usize) -> Option<&str> {
+        // Positionals are arguments not consumed as a flag or flag value.
+        let mut skip_next = false;
+        let mut seen = 0;
+        for a in self.0 {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a.starts_with("--") || a == "-o" {
+                skip_next = true;
+                continue;
+            }
+            if seen == idx {
+                return Some(a);
+            }
+            seen += 1;
+        }
+        None
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let kind = f.positional(0).ok_or("gen: missing kind")?.to_string();
+    let out: PathBuf = f.get("-o").or(f.get("--out")).ok_or("gen: missing -o <file>")?.into();
+    let seed: u64 = f.parse("--seed", 42)?;
+    let graph = match kind.as_str() {
+        "rmat" => {
+            let scale: u32 = f.parse("--scale", 14)?;
+            parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(scale, seed))
+        }
+        "sbm" => {
+            let n: usize = f.parse("--vertices", 100_000)?;
+            parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(n, seed)).graph
+        }
+        "web" => {
+            let n: usize = f.parse("--vertices", 100_000)?;
+            parcomm::gen::web_graph(&parcomm::gen::WebParams::uk_like(n, seed)).graph
+        }
+        "clique-ring" => {
+            let k: usize = f.parse("--cliques", 8)?;
+            let s: usize = f.parse("--size", 8)?;
+            parcomm::gen::classic::clique_ring(k, s)
+        }
+        "karate" => parcomm::gen::classic::karate_club(),
+        "lfr" => {
+            let n: usize = f.parse("--vertices", 10_000)?;
+            let mu: f64 = f.parse("--mixing", 0.2)?;
+            parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(n, mu, seed)).graph
+        }
+        other => return Err(format!("gen: unknown kind '{other}'")),
+    };
+    parcomm::graph::io::save(&graph, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        out.display(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    parcomm::graph::io::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let path = f.positional(0).ok_or("detect: missing graph file")?;
+    let g = load(path)?;
+
+    let mut config = Config::default();
+    match f.get("--scorer").unwrap_or("modularity") {
+        "modularity" => {}
+        "conductance" => config = config.with_scorer(ScorerKind::Conductance),
+        "heavy" => config = config.with_scorer(ScorerKind::HeavyEdge),
+        other => return Err(format!("unknown scorer '{other}'")),
+    }
+    if let Some(c) = f.get("--coverage") {
+        let c: f64 = c.parse().map_err(|_| "bad --coverage")?;
+        config = config.with_criterion(Criterion::Coverage(c));
+    }
+    if let Some(n) = f.get("--max-levels") {
+        config = config.with_criterion(Criterion::MaxLevels(
+            n.parse().map_err(|_| "bad --max-levels")?,
+        ));
+    }
+    if let Some(n) = f.get("--max-size") {
+        config = config.with_max_community_size(n.parse().map_err(|_| "bad --max-size")?);
+    }
+    let refine_sweeps: usize = f.parse("--refine", 0)?;
+    let threads: usize = f.parse("--threads", 0)?;
+
+    let run = move || {
+        if refine_sweeps > 0 {
+            detect_refined(g, &config, refine_sweeps).0
+        } else {
+            detect(g, &config)
+        }
+    };
+    let r = if threads > 0 {
+        parcomm::util::pool::with_threads(threads, run)
+    } else {
+        run()
+    };
+
+    println!("communities:  {}", r.num_communities);
+    println!("modularity:   {:.4}", r.modularity);
+    println!("coverage:     {:.3}", r.coverage);
+    println!("levels:       {}", r.levels.len());
+    println!("time:         {:.3}s", r.total_secs);
+    let (s, m, c) = r.phase_totals();
+    if s + m + c > 0.0 {
+        println!(
+            "phases:       score {:.0}% / match {:.0}% / contract {:.0}%",
+            100.0 * s / (s + m + c),
+            100.0 * m / (s + m + c),
+            100.0 * c / (s + m + c)
+        );
+    }
+    if let Some(out) = f.get("--assignments") {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| e.to_string())?,
+        );
+        for (v, &cid) in r.assignment.iter().enumerate() {
+            writeln!(w, "{v} {cid}").map_err(|e| e.to_string())?;
+        }
+        println!("assignments:  {out}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let path = f.positional(0).ok_or("stats: missing graph file")?;
+    let g = load(path)?;
+    let csr = parcomm::graph::Csr::from_graph(&g);
+    let d = parcomm::graph::stats::degree_stats(&csr);
+    let labels = parcomm::graph::components::components(&g);
+    let ncomp = parcomm::graph::components::count_components(&labels);
+    println!("vertices:      {}", g.num_vertices());
+    println!("edges:         {}", g.num_edges());
+    println!("total weight:  {}", g.total_weight());
+    println!("degree:        min {} / mean {:.2} / max {}", d.min, d.mean, d.max);
+    println!("isolated:      {}", d.isolated);
+    println!("components:    {ncomp}");
+    let tri = parcomm::graph::triangles::count_triangles(&csr);
+    let cc = parcomm::graph::triangles::global_clustering_coefficient(&csr);
+    println!("triangles:     {}", tri.total);
+    println!("clustering:    {cc:.4}");
+    let hist = parcomm::graph::stats::degree_histogram_log2(&csr);
+    println!("degree histogram (log2 bins):");
+    for (bin, count) in hist.iter().enumerate() {
+        if *count > 0 {
+            println!("  [{:>6}, {:>6}): {count}", 1usize << bin, 1usize << (bin + 1));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let input = f.positional(0).ok_or("convert: missing input")?;
+    let output = f.positional(1).ok_or("convert: missing output")?;
+    let g = load(input)?;
+    parcomm::graph::io::save(&g, std::path::Path::new(output)).map_err(|e| e.to_string())?;
+    println!("converted {input} -> {output}");
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let path = f.positional(0).ok_or("compare: missing graph file")?;
+    let g = load(path)?;
+    println!("{:<20} {:>8} {:>8} {:>9} {:>9}", "method", "Q", "cover", "#comm", "time");
+    let report = |label: &str, a: &[u32], secs: f64| {
+        let (dense, k) = parcomm::metrics::compact_labels(a);
+        println!(
+            "{:<20} {:>8.4} {:>8.3} {:>9} {:>8.3}s",
+            label,
+            parcomm::metrics::modularity(&g, &dense),
+            parcomm::metrics::coverage(&g, &dense),
+            k,
+            secs
+        );
+    };
+    let t = std::time::Instant::now();
+    let r = detect(g.clone(), &Config::default());
+    report("parallel-agglom", &r.assignment, t.elapsed().as_secs_f64());
+    let t = std::time::Instant::now();
+    let refined = parcomm::core::refine::refine(&g, &r.assignment, 10);
+    report("  + refinement", &refined.assignment, t.elapsed().as_secs_f64());
+    let t = std::time::Instant::now();
+    let a = parcomm::baseline::louvain(&g);
+    report("louvain (seq)", &a, t.elapsed().as_secs_f64());
+    let t = std::time::Instant::now();
+    let a = parcomm::baseline::louvain_parallel(&g);
+    report("louvain (par)", &a, t.elapsed().as_secs_f64());
+    let t = std::time::Instant::now();
+    let a = parcomm::baseline::label_propagation(&g, 30);
+    report("labelprop", &a, t.elapsed().as_secs_f64());
+    if g.num_edges() <= 500_000 {
+        let t = std::time::Instant::now();
+        let a = parcomm::baseline::cnm(&g);
+        report("cnm", &a, t.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+fn cmd_seed(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let path = f.positional(0).ok_or("seed: missing graph file")?;
+    let seed: u32 = f
+        .positional(1)
+        .ok_or("seed: missing seed vertex")?
+        .parse()
+        .map_err(|_| "bad seed vertex")?;
+    let max_size: usize = f.parse("--max-size", 1000)?;
+    let g = load(path)?;
+    if seed as usize >= g.num_vertices() {
+        return Err(format!("seed {seed} out of range (|V| = {})", g.num_vertices()));
+    }
+    let c = parcomm::baseline::seed_expand(&g, seed, max_size);
+    println!("community of vertex {seed}: {} members, conductance {:.4}", c.members.len(), c.conductance);
+    let mut members = c.members;
+    members.sort_unstable();
+    println!("{members:?}");
+    Ok(())
+}
+
+fn cmd_communities(args: &[String]) -> Result<(), String> {
+    let f = Flags(args);
+    let path = f.positional(0).ok_or("communities: missing graph file")?;
+    let top: usize = f.parse("--top", 20)?;
+    let g = load(path)?;
+    let r = detect(g.clone(), &Config::default());
+    let reports = parcomm::metrics::community_reports(&g, &r.assignment);
+    println!(
+        "{} communities, Q = {:.4}, coverage {:.3}; largest {top}:",
+        r.num_communities, r.modularity, r.coverage
+    );
+    for rep in parcomm::metrics::largest_communities(&reports, top) {
+        println!("{rep}");
+    }
+    Ok(())
+}

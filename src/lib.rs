@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # parcomm — scalable multi-threaded community detection
+//!
+//! A from-scratch Rust reproduction of *Riedy, Meyerhenke, Bader:
+//! "Scalable Multi-threaded Community Detection in Social Networks"*
+//! (IEEE IPDPSW/MTAAP 2012), including every substrate its evaluation
+//! depends on: the bucketed edge-array graph, parallel greedy matching,
+//! parallel bucket-sort contraction, graph generators, sequential
+//! baselines, quality metrics and the full benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parcomm::prelude::*;
+//!
+//! // Generate a graph with planted communities and detect them.
+//! let graph = parcomm::gen::classic::clique_ring(8, 6);
+//! let result = detect(graph, &Config::default());
+//! println!("{} communities, Q = {:.3}", result.num_communities, result.modularity);
+//! assert!(result.modularity > 0.5);
+//! ```
+//!
+//! See the `examples/` directory for realistic end-to-end scenarios and
+//! `pcd-bench`'s `repro` binary for the paper's tables and figures.
+
+pub use pcd_baseline as baseline;
+pub use pcd_contract as contract;
+pub use pcd_core as core;
+pub use pcd_gen as gen;
+pub use pcd_graph as graph;
+pub use pcd_matching as matching;
+pub use pcd_metrics as metrics;
+pub use pcd_spmat as spmat;
+pub use pcd_util as util;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use pcd_core::{detect, Config, ContractorKind, Criterion, MatcherKind, ScorerKind};
+    pub use pcd_graph::{Graph, GraphBuilder};
+    pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};
+    pub use pcd_util::{VertexId, Weight};
+}
+
+pub use pcd_core::{detect, Config};

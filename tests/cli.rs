@@ -1,0 +1,182 @@
+//! End-to-end tests of the `parcomm` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parcomm"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("parcomm-cli-{name}"));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn gen_stats_detect_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let graph = dir.join("ring.bin");
+
+    let out = bin()
+        .args(["gen", "clique-ring", "--cliques", "6", "--size", "5", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("30 vertices"), "{stdout}");
+
+    let out = bin().arg("stats").arg(&graph).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("vertices:      30"), "{stdout}");
+    assert!(stdout.contains("components:    1"), "{stdout}");
+
+    let assignments = dir.join("a.txt");
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--refine", "2", "--assignments"])
+        .arg(&assignments)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("modularity:"), "{stdout}");
+    let lines = std::fs::read_to_string(&assignments).unwrap();
+    assert_eq!(lines.lines().count(), 30);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_between_formats() {
+    let dir = tmpdir("convert");
+    let bin_path = dir.join("k.bin");
+    let txt_path = dir.join("k.edges");
+
+    assert!(bin()
+        .args(["gen", "karate", "-o"])
+        .arg(&bin_path)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("convert")
+        .arg(&bin_path)
+        .arg(&txt_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&txt_path).unwrap();
+    assert!(text.lines().filter(|l| !l.starts_with('#')).count() >= 78);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn detect_with_coverage_rule() {
+    let dir = tmpdir("coverage");
+    let graph = dir.join("rmat.bin");
+    assert!(bin()
+        .args(["gen", "rmat", "--scale", "10", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--coverage", "0.5", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("communities:"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = bin().args(["detect", "/nonexistent/graph.bin"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn communities_subcommand_reports() {
+    let dir = tmpdir("communities");
+    let graph = dir.join("ring.bin");
+    assert!(bin()
+        .args(["gen", "clique-ring", "--cliques", "5", "--size", "6", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("communities")
+        .arg(&graph)
+        .args(["--top", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("communities, Q ="), "{stdout}");
+    assert!(stdout.contains("members"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_subcommand_expands() {
+    let dir = tmpdir("seed");
+    let graph = dir.join("two.edges");
+    // Two triangles with a bridge, as a plain edge list.
+    std::fs::write(&graph, "0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3\n").unwrap();
+    let out = bin().args(["seed"]).arg(&graph).arg("0").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("community of vertex 0"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_out_of_range_fails() {
+    let dir = tmpdir("seed-oor");
+    let graph = dir.join("k.bin");
+    assert!(bin().args(["gen", "karate", "-o"]).arg(&graph).output().unwrap().status.success());
+    let out = bin().args(["seed"]).arg(&graph).arg("999").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_lfr_and_metis_convert() {
+    let dir = tmpdir("lfr-metis");
+    let edges = dir.join("lfr.edges");
+    assert!(bin()
+        .args(["gen", "lfr", "--vertices", "500", "--mixing", "0.2", "-o"])
+        .arg(&edges)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let metis = dir.join("lfr.metis");
+    let out = bin().arg("convert").arg(&edges).arg(&metis).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Round-trip the METIS file back in.
+    let back = dir.join("back.edges");
+    assert!(bin().arg("convert").arg(&metis).arg(&back).output().unwrap().status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,50 @@
+//! Golden regression tests: the pipeline is deterministic, so exact
+//! results on fixed inputs are stable anchors. A change here means the
+//! algorithm's behaviour changed — intentional changes must update the
+//! goldens consciously.
+
+use parcomm::prelude::*;
+
+#[test]
+fn karate_club_golden() {
+    let g = parcomm::gen::classic::karate_club();
+    let r = detect(g, &Config::default());
+    // Locked-in behaviour of the default configuration on karate.
+    assert_eq!(r.num_communities, 4);
+    assert!((r.modularity - 0.392).abs() < 5e-4, "q = {}", r.modularity);
+    assert_eq!(r.levels.len(), 7);
+    // Level-by-level merge counts.
+    let pairs: Vec<usize> = r.levels.iter().map(|l| l.pairs_merged).collect();
+    assert_eq!(pairs, vec![13, 8, 4, 2, 1, 1, 1]);
+    // Community membership counts (sorted).
+    let mut counts = r.community_vertex_counts.clone();
+    counts.sort_unstable();
+    assert_eq!(counts, vec![4, 7, 10, 13]);
+}
+
+#[test]
+fn rmat_10_seed_7_golden() {
+    let g = parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(10, 7));
+    // Generator goldens: sizes fixed by (seed, scale).
+    assert_eq!(g.num_vertices(), 1018);
+    assert_eq!(g.num_edges(), 11_037);
+    assert_eq!(g.total_weight(), 16_384);
+    // On this small R-MAT the modularity local maximum arrives *before*
+    // coverage reaches 0.5 (R-MAT has little community structure) — lock
+    // that behaviour in.
+    let r = detect(g, &Config::paper_performance());
+    assert_eq!(r.stop_reason, parcomm::core::result::StopReason::LocalMaximum);
+    assert!(r.coverage < 0.5, "coverage = {}", r.coverage);
+}
+
+#[test]
+fn determinism_is_total_across_repeats() {
+    // Two full runs through generation + detection produce identical
+    // artifacts, byte for byte.
+    let run = || {
+        let s = parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(2_000, 77));
+        let r = detect(s.graph, &Config::default());
+        (r.assignment, r.num_communities, r.modularity.to_bits())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,47 @@
+//! Robustness: arbitrary bytes fed to every reader must return an error
+//! or a valid graph — never panic.
+
+use parcomm::graph::io;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn edge_list_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(g) = io::read_edge_list(&bytes[..]) {
+            prop_assert_eq!(g.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn binary_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(g) = io::read_binary(&bytes[..]) {
+            prop_assert_eq!(g.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn metis_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(g) = io::read_metis(&bytes[..]) {
+            prop_assert_eq!(g.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn text_like_edge_lists_never_panic(s in "[0-9 \n#%.a-z-]{0,256}") {
+        if let Ok(g) = io::read_edge_list(s.as_bytes()) {
+            prop_assert_eq!(g.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn metis_with_plausible_headers_never_panics(
+        (nv, ne, body) in (0u32..20, 0u32..40, "[0-9 \n]{0,128}")
+    ) {
+        let text = format!("{nv} {ne} 1\n{body}");
+        if let Ok(g) = io::read_metis(text.as_bytes()) {
+            prop_assert_eq!(g.validate(), Ok(()));
+        }
+    }
+}

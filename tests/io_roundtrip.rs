@@ -1,0 +1,48 @@
+//! IO round-trips through the detection pipeline: a graph saved and
+//! reloaded must produce the identical detection result.
+
+use parcomm::graph::io;
+use parcomm::prelude::*;
+
+fn detect_fingerprint(g: parcomm::graph::Graph) -> (usize, f64, Vec<u32>) {
+    let r = detect(g, &Config::default());
+    (r.num_communities, r.modularity, r.assignment)
+}
+
+#[test]
+fn binary_roundtrip_preserves_detection() {
+    let g = parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(10, 6));
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    let g2 = io::read_binary(&buf[..]).unwrap();
+    assert_eq!(detect_fingerprint(g), detect_fingerprint(g2));
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_detection() {
+    let g = parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(800, 2)).graph;
+    let mut buf = Vec::new();
+    io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = io::read_edge_list(&buf[..]).unwrap();
+    assert_eq!(g.num_vertices(), g2.num_vertices());
+    assert_eq!(detect_fingerprint(g), detect_fingerprint(g2));
+}
+
+#[test]
+fn file_dispatch_by_extension() {
+    let dir = std::env::temp_dir().join("parcomm-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = parcomm::gen::classic::clique_ring(4, 5);
+
+    let bin = dir.join("g.bin");
+    io::save(&g, &bin).unwrap();
+    let g_bin = io::load(&bin).unwrap();
+    assert_eq!(g_bin.srcs(), g.srcs());
+
+    let txt = dir.join("g.edges");
+    io::save(&g, &txt).unwrap();
+    let g_txt = io::load(&txt).unwrap();
+    assert_eq!(g_txt.total_weight(), g.total_weight());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the core invariants, on arbitrary random
+//! multigraphs (duplicates, self-loops, weights included).
+
+use parcomm::contract::{bucket, edge_fingerprint, linked, seq as cseq, Placement};
+use parcomm::core::{score_all, ScoreContext, ScorerKind};
+use parcomm::graph::{builder, components};
+use parcomm::matching::{edge_sweep, parallel, seq as mseq, verify::verify_matching};
+use proptest::prelude::*;
+
+/// Strategy: a vertex count and an arbitrary weighted edge multiset.
+fn arb_graph_input() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+    (2usize..40).prop_flat_map(|nv| {
+        let edges = proptest::collection::vec(
+            (0..nv as u32, 0..nv as u32, 1u64..4),
+            0..120,
+        );
+        (Just(nv), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_graphs_satisfy_all_invariants((nv, edges) in arb_graph_input()) {
+        let expected: u64 = edges.iter().map(|e| e.2).sum();
+        let g = builder::from_edges(nv, edges);
+        prop_assert_eq!(g.validate(), Ok(()));
+        prop_assert_eq!(g.total_weight(), expected);
+        // Volumes always sum to 2m.
+        let vols: u64 = g.volumes().iter().sum();
+        prop_assert_eq!(vols, 2 * g.total_weight());
+    }
+
+    #[test]
+    fn parallel_components_match_union_find((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        prop_assert_eq!(components::components(&g), components::components_seq(&g));
+    }
+
+    #[test]
+    fn all_matchers_produce_valid_maximal_matchings((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let ctx = ScoreContext::new(&g);
+        let scores = score_all(ScorerKind::Modularity, &g, &ctx);
+        for (name, m) in [
+            ("unmatched-list", parallel::match_unmatched_list(&g, &scores)),
+            ("edge-sweep", edge_sweep::match_edge_sweep(&g, &scores)),
+            ("sequential", mseq::match_sequential_greedy(&g, &scores)),
+        ] {
+            prop_assert_eq!(verify_matching(&g, &scores, &m), Ok(()), "{}", name);
+        }
+    }
+
+    #[test]
+    fn edge_sweep_equals_sequential_greedy((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let ctx = ScoreContext::new(&g);
+        let scores = score_all(ScorerKind::Modularity, &g, &ctx);
+        let a = edge_sweep::match_edge_sweep(&g, &scores);
+        let b = mseq::match_sequential_greedy(&g, &scores);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contractors_agree_and_conserve_weight((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let ctx = ScoreContext::new(&g);
+        let scores = score_all(ScorerKind::Modularity, &g, &ctx);
+        let m = parallel::match_unmatched_list(&g, &scores);
+
+        let a = bucket::contract_with_policy(&g, &m, Placement::PrefixSum);
+        let b = bucket::contract_with_policy(&g, &m, Placement::FetchAdd);
+        let c = linked::contract_linked(&g, &m);
+        let d = cseq::contract_seq(&g, &m);
+
+        let fp = edge_fingerprint(&a.graph);
+        prop_assert_eq!(&fp, &edge_fingerprint(&b.graph));
+        prop_assert_eq!(&fp, &edge_fingerprint(&c.graph));
+        prop_assert_eq!(&fp, &edge_fingerprint(&d.graph));
+        prop_assert_eq!(a.graph.self_loops(), b.graph.self_loops());
+        prop_assert_eq!(a.graph.self_loops(), c.graph.self_loops());
+        prop_assert_eq!(a.graph.self_loops(), d.graph.self_loops());
+        prop_assert_eq!(a.graph.total_weight(), g.total_weight());
+        prop_assert_eq!(a.graph.validate(), Ok(()));
+        prop_assert_eq!(a.num_new, g.num_vertices() - m.len());
+    }
+
+    #[test]
+    fn modularity_telescopes_through_contraction((nv, edges) in arb_graph_input()) {
+        // Q(contracted) == Q(current) + Σ ΔQ of matched edges — the single
+        // invariant that exercises scorer, matcher and contractor together.
+        let g = builder::from_edges(nv, edges);
+        if g.total_weight() == 0 {
+            return Ok(());
+        }
+        let ctx = ScoreContext::new(&g);
+        let scores = score_all(ScorerKind::Modularity, &g, &ctx);
+        let m = parallel::match_unmatched_list(&g, &scores);
+        let q0 = parcomm::metrics::community_graph_modularity(&g);
+        let dq: f64 = m.matched_edges().iter().map(|&e| scores[e]).sum();
+        let contracted = bucket::contract(&g, &m);
+        let q1 = parcomm::metrics::community_graph_modularity(&contracted.graph);
+        prop_assert!((q1 - (q0 + dq)).abs() < 1e-9, "q0 {} + dq {} != q1 {}", q0, dq, q1);
+    }
+
+    #[test]
+    fn detection_never_panics_and_is_consistent((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let r = parcomm::detect(g.clone(), &parcomm::Config::default());
+        prop_assert_eq!(r.assignment.len(), nv);
+        prop_assert_eq!(r.community_vertex_counts.iter().sum::<u64>(), nv as u64);
+        let q_direct = parcomm::metrics::modularity(&g, &r.assignment);
+        prop_assert!((q_direct - r.modularity).abs() < 1e-9);
+        // Agglomeration along positive scores can only improve modularity
+        // over the singleton partition.
+        let singles: Vec<u32> = (0..nv as u32).collect();
+        let q_single = parcomm::metrics::modularity(&g, &singles);
+        prop_assert!(r.modularity >= q_single - 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the sparse-matrix formulation (paper §VI).
+
+use parcomm::spmat::{contract_spgemm, CsrMatrix};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows as u32, 0..cols as u32, 1u64..5),
+            0..40,
+        )
+        .prop_map(move |t| CsrMatrix::from_triplets(rows, cols, t))
+    })
+}
+
+fn dense(m: &CsrMatrix) -> Vec<Vec<u64>> {
+    let mut d = vec![vec![0u64; m.cols]; m.rows];
+    for r in 0..m.rows {
+        for (c, v) in m.row(r) {
+            d[r][c as usize] = v;
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn construction_is_valid(m in arb_matrix()) {
+        prop_assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in arb_matrix()) {
+        let t = m.transpose();
+        prop_assert_eq!(t.validate(), Ok(()));
+        prop_assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_entries(m in arb_matrix()) {
+        let t = m.transpose();
+        let dm = dense(&m);
+        let dt = dense(&t);
+        for r in 0..m.rows {
+            for c in 0..m.cols {
+                prop_assert_eq!(dm[r][c], dt[c][r]);
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_matches_dense((a, b) in (1usize..8, 1usize..8, 1usize..8).prop_flat_map(|(n, k, m)| {
+        let a = proptest::collection::vec((0..n as u32, 0..k as u32, 1u64..4), 0..30)
+            .prop_map(move |t| CsrMatrix::from_triplets(n, k, t));
+        let b = proptest::collection::vec((0..k as u32, 0..m as u32, 1u64..4), 0..30)
+            .prop_map(move |t| CsrMatrix::from_triplets(k, m, t));
+        (a, b)
+    })) {
+        let c = a.multiply(&b);
+        prop_assert_eq!(c.validate(), Ok(()));
+        let (da, db, dc) = (dense(&a), dense(&b), dense(&c));
+        for r in 0..a.rows {
+            for j in 0..b.cols {
+                let expect: u64 = (0..a.cols).map(|k| da[r][k] * db[k][j]).sum();
+                prop_assert_eq!(dc[r][j], expect, "at ({}, {})", r, j);
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_contraction_conserves_weight(
+        (nv, edges, labels) in (2usize..20).prop_flat_map(|nv| {
+            let edges = proptest::collection::vec(
+                (0..nv as u32, 0..nv as u32, 1u64..4), 0..60);
+            let labels = proptest::collection::vec(0..4u32, nv);
+            (Just(nv), edges, labels)
+        })
+    ) {
+        let g = parcomm::graph::builder::from_edges(nv, edges);
+        let (dense_labels, k) = parcomm::metrics::compact_labels(&labels);
+        let c = contract_spgemm(&g, &dense_labels, k.max(1));
+        prop_assert_eq!(c.total_weight(), g.total_weight());
+        prop_assert_eq!(c.validate(), Ok(()));
+        // Modularity is invariant under aggregation of the same partition.
+        let q_orig = parcomm::metrics::modularity(&g, &dense_labels);
+        let q_agg = parcomm::metrics::community_graph_modularity(&c);
+        prop_assert!((q_orig - q_agg).abs() < 1e-9, "{} vs {}", q_orig, q_agg);
+    }
+}
