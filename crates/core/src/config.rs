@@ -2,6 +2,7 @@
 //! and termination criteria.
 
 use crate::termination::Criterion;
+use pcd_util::PcdError;
 
 /// Which optimisation metric scores edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +44,48 @@ pub enum ContractorKind {
     Sequential,
 }
 
+/// How much the driver distrusts its own kernels at runtime.
+///
+/// Ordered: a level implies every check of the levels below it, so guards
+/// are gated with `config.paranoia >= Paranoia::Cheap` etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Paranoia {
+    /// No runtime guards (production default — correctness is covered by
+    /// tests and debug assertions).
+    #[default]
+    Off,
+    /// O(V + E) per-level spot checks: scores finite, contraction
+    /// conserves total edge weight and maps onto a dense range.
+    Cheap,
+    /// Everything in `Cheap` plus full matching verification and complete
+    /// structural validation of each contracted graph.
+    Full,
+}
+
+impl std::str::FromStr for Paranoia {
+    type Err = PcdError;
+
+    fn from_str(s: &str) -> Result<Self, PcdError> {
+        match s {
+            "off" => Ok(Paranoia::Off),
+            "cheap" => Ok(Paranoia::Cheap),
+            "full" => Ok(Paranoia::Full),
+            other => Err(PcdError::config(format!(
+                "unknown paranoia level '{other}' (expected off, cheap, or full)"
+            ))),
+        }
+    }
+}
+
+/// Default matcher round cap for a graph of `nv` vertices:
+/// `4·⌈log₂ nv⌉ + 64`. The paper observes round counts far below even
+/// log₂ nv on social networks; the slack keeps the watchdog out of the way
+/// on anything but a genuinely wedged matcher.
+pub fn default_match_round_cap(nv: usize) -> usize {
+    let ceil_log2 = if nv <= 1 { 0 } else { (nv - 1).ilog2() as usize + 1 };
+    4 * ceil_log2 + 64
+}
+
 /// Full configuration for [`crate::detect`].
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -62,6 +105,16 @@ pub struct Config {
     /// Record each level's old→new community map so any intermediate
     /// partition of the dendrogram can be reconstructed afterwards.
     pub record_levels: bool,
+    /// Runtime invariant-guard level (see [`Paranoia`]).
+    pub paranoia: Paranoia,
+    /// Watchdog cap on parallel matching rounds per level. `None` uses
+    /// [`default_match_round_cap`]. On expiry the matcher degrades to
+    /// sequential greedy completion and the level is flagged in
+    /// [`crate::LevelStats::matcher_degraded`].
+    pub max_match_rounds: Option<usize>,
+    /// Fault plan for the injection harness (test builds only).
+    #[cfg(feature = "fault-injection")]
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl Default for Config {
@@ -75,6 +128,10 @@ impl Default for Config {
             criteria: Vec::new(),
             max_community_size: None,
             record_levels: false,
+            paranoia: Paranoia::Off,
+            max_match_rounds: None,
+            #[cfg(feature = "fault-injection")]
+            fault: crate::fault::FaultPlan::default(),
         }
     }
 }
@@ -140,6 +197,71 @@ impl Config {
         self.record_levels = true;
         self
     }
+
+    #[must_use]
+    /// Sets the runtime invariant-guard level.
+    pub fn with_paranoia(mut self, p: Paranoia) -> Self {
+        self.paranoia = p;
+        self
+    }
+
+    #[must_use]
+    /// Overrides the matcher watchdog's round cap.
+    pub fn with_max_match_rounds(mut self, n: usize) -> Self {
+        self.max_match_rounds = Some(n);
+        self
+    }
+
+    /// Checks the configuration for values that would make detection
+    /// meaningless or non-terminating, so bad CLI/API input fails up front
+    /// with a [`PcdError::Config`] instead of looping or panicking deep in
+    /// a kernel.
+    pub fn validate(&self) -> Result<(), PcdError> {
+        for c in &self.criteria {
+            match *c {
+                Criterion::Coverage(f) => {
+                    if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                        return Err(PcdError::config(format!(
+                            "coverage threshold {f} must be a finite fraction in [0, 1]"
+                        )));
+                    }
+                }
+                Criterion::MaxLevels(n) => {
+                    if n == 0 {
+                        return Err(PcdError::config(
+                            "max-levels criterion must be at least 1",
+                        ));
+                    }
+                }
+                Criterion::MinCommunities(n) => {
+                    if n == 0 {
+                        return Err(PcdError::config(
+                            "min-communities criterion must be at least 1",
+                        ));
+                    }
+                }
+                Criterion::MaxCommunitySize(n) => {
+                    if n == 0 {
+                        return Err(PcdError::config(
+                            "max-community-size criterion must be at least 1",
+                        ));
+                    }
+                }
+            }
+        }
+        if self.max_community_size == Some(0) {
+            return Err(PcdError::config(
+                "max community size 0 would forbid every merge; use at least 1",
+            ));
+        }
+        if self.max_match_rounds == Some(0) {
+            return Err(PcdError::config(
+                "max match rounds 0 would disable parallel matching entirely; \
+                 use at least 1",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +281,61 @@ mod tests {
     fn paper_performance_sets_coverage() {
         let c = Config::paper_performance();
         assert_eq!(c.criteria, vec![Criterion::Coverage(0.5)]);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_presets() {
+        assert!(Config::default().validate().is_ok());
+        assert!(Config::paper_performance().validate().is_ok());
+        assert!(Config::legacy_2011().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_coverage() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let c = Config::default().with_criterion(Criterion::Coverage(bad));
+            let err = c.validate().unwrap_err();
+            assert!(err.to_string().contains("coverage"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_knobs() {
+        assert!(Config::default()
+            .with_criterion(Criterion::MaxLevels(0))
+            .validate()
+            .is_err());
+        assert!(Config::default()
+            .with_criterion(Criterion::MinCommunities(0))
+            .validate()
+            .is_err());
+        assert!(Config::default()
+            .with_criterion(Criterion::MaxCommunitySize(0))
+            .validate()
+            .is_err());
+        assert!(Config::default().with_max_community_size(0).validate().is_err());
+        assert!(Config::default().with_max_match_rounds(0).validate().is_err());
+        assert!(Config::default().with_max_match_rounds(1).validate().is_ok());
+    }
+
+    #[test]
+    fn paranoia_parses_and_orders() {
+        assert_eq!("off".parse::<Paranoia>().unwrap(), Paranoia::Off);
+        assert_eq!("cheap".parse::<Paranoia>().unwrap(), Paranoia::Cheap);
+        assert_eq!("full".parse::<Paranoia>().unwrap(), Paranoia::Full);
+        assert!("loud".parse::<Paranoia>().is_err());
+        assert!(Paranoia::Full > Paranoia::Cheap);
+        assert!(Paranoia::Cheap > Paranoia::Off);
+        assert_eq!(Paranoia::default(), Paranoia::Off);
+    }
+
+    #[test]
+    fn round_cap_formula() {
+        assert_eq!(default_match_round_cap(0), 64);
+        assert_eq!(default_match_round_cap(1), 64);
+        assert_eq!(default_match_round_cap(2), 68);
+        assert_eq!(default_match_round_cap(1024), 104);
+        assert_eq!(default_match_round_cap(1025), 108);
     }
 
     #[test]

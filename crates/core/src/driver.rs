@@ -1,7 +1,7 @@
 //! The agglomerative main loop (§III): score → match → contract, until a
 //! local maximum or an external criterion.
 
-use crate::config::{Config, ContractorKind, MatcherKind};
+use crate::config::{default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia};
 use crate::result::{DetectionResult, LevelStats, StopReason};
 use crate::scorer::{any_positive, mask_oversized, score_all, ScoreContext};
 use crate::termination::{any_stops, LevelState};
@@ -10,7 +10,7 @@ use pcd_graph::Graph;
 use pcd_matching::{edge_sweep, parallel, seq as match_seq, Matching};
 use pcd_util::atomics::as_atomic_u64;
 use pcd_util::timing::Timer;
-use pcd_util::{VertexId, Weight};
+use pcd_util::{PcdError, Phase, VertexId, Weight};
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 
@@ -19,7 +19,20 @@ use std::sync::atomic::Ordering;
 /// The graph is consumed; it becomes level 0 of the hierarchy. Every
 /// original vertex ends in exactly one community; isolated vertices stay
 /// singletons.
+///
+/// Panics on an invalid configuration or a paranoia-guard trip; callers
+/// that need structured errors use [`try_detect`].
 pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
+    try_detect(graph, config)
+        .unwrap_or_else(|e| panic!("community detection failed: {e}"))
+}
+
+/// Fallible [`detect`]: validates the configuration up front and, when
+/// [`Config::paranoia`] is raised, re-checks kernel invariants after every
+/// phase, returning [`PcdError::InvariantViolation`] instead of producing
+/// a silently corrupt hierarchy.
+pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdError> {
+    config.validate()?;
     let t_total = Timer::start();
     let n0 = graph.num_vertices();
 
@@ -43,6 +56,11 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
         if let Some(max_size) = config.max_community_size {
             mask_oversized(&g, &mut scores, &counts, max_size);
         }
+        #[cfg(feature = "fault-injection")]
+        config.fault.corrupt_scores(level, &mut scores);
+        if config.paranoia >= Paranoia::Cheap {
+            guard_scores_finite(level, &scores)?;
+        }
         let score_secs = t.elapsed_secs();
 
         if !any_positive(&scores) {
@@ -52,7 +70,14 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
 
         // --- Phase 2: match.
         let t = Timer::start();
-        let (matching, rounds) = run_matcher(config.matcher, &g, &scores);
+        #[allow(unused_mut)]
+        let (mut matching, rounds, degraded) = run_matcher(config, &g, &scores);
+        #[cfg(feature = "fault-injection")]
+        config.fault.corrupt_matching(level, &mut matching);
+        if config.paranoia >= Paranoia::Full {
+            pcd_matching::verify::verify_matching(&g, &scores, &matching)
+                .map_err(|detail| PcdError::invariant(level, Phase::Match, detail))?;
+        }
         let match_secs = t.elapsed_secs();
         if matching.is_empty() {
             stop_reason = StopReason::NoMatches;
@@ -61,7 +86,13 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
 
         // --- Phase 3: contract.
         let t = Timer::start();
-        let contraction = run_contractor(config.contractor, &g, &matching);
+        #[allow(unused_mut)]
+        let mut contraction = run_contractor(config.contractor, &g, &matching);
+        #[cfg(feature = "fault-injection")]
+        config.fault.corrupt_contraction(level, &mut contraction);
+        if config.paranoia >= Paranoia::Cheap {
+            guard_contraction(level, config.paranoia, &g, &matching, &contraction)?;
+        }
         let contract_secs = t.elapsed_secs();
 
         // Fold the level into the hierarchy state.
@@ -91,6 +122,7 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
             num_edges: ne,
             pairs_merged: pairs,
             match_rounds: rounds,
+            matcher_degraded: degraded,
             modularity,
             coverage,
             score_secs,
@@ -110,7 +142,7 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
         }
     }
 
-    DetectionResult {
+    Ok(DetectionResult {
         num_communities: g.num_vertices(),
         modularity: pcd_metrics::community_graph_modularity(&g),
         coverage: g.coverage(),
@@ -121,20 +153,115 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
         level_maps,
         stop_reason,
         total_secs: t_total.elapsed_secs(),
-    }
+    })
 }
 
-fn run_matcher(kind: MatcherKind, g: &Graph, scores: &[f64]) -> (Matching, usize) {
-    let out = match kind {
-        MatcherKind::UnmatchedList => parallel::match_unmatched_list_stats(g, scores),
-        MatcherKind::EdgeSweep => edge_sweep::match_edge_sweep_stats(g, scores),
-        MatcherKind::Sequential => (match_seq::match_sequential_greedy(g, scores), 1),
+/// Runs the configured matcher. The unmatched-list kernel runs under the
+/// watchdog round cap ([`Config::max_match_rounds`], defaulting to
+/// [`default_match_round_cap`]); the returned flag reports whether it
+/// degraded to the sequential fallback. The other kernels have statically
+/// bounded pass counts and never degrade.
+fn run_matcher(config: &Config, g: &Graph, scores: &[f64]) -> (Matching, usize, bool) {
+    let out = match config.matcher {
+        MatcherKind::UnmatchedList => {
+            let cap = config
+                .max_match_rounds
+                .unwrap_or_else(|| default_match_round_cap(g.num_vertices()));
+            let o = parallel::match_unmatched_list_capped(g, scores, cap);
+            (o.matching, o.rounds, o.degraded)
+        }
+        MatcherKind::EdgeSweep => {
+            let (m, sweeps) = edge_sweep::match_edge_sweep_stats(g, scores);
+            (m, sweeps, false)
+        }
+        MatcherKind::Sequential => (match_seq::match_sequential_greedy(g, scores), 1, false),
     };
     debug_assert_eq!(
         pcd_matching::verify::verify_matching(g, scores, &out.0),
         Ok(())
     );
     out
+}
+
+/// Cheap-paranoia guard: every edge score must be finite. NaN in a score
+/// array poisons the matcher's total order silently (every comparison is
+/// false), so it is caught here rather than downstream.
+fn guard_scores_finite(level: usize, scores: &[f64]) -> Result<(), PcdError> {
+    if scores.par_iter().all(|s| s.is_finite()) {
+        return Ok(());
+    }
+    let e = scores.iter().position(|s| !s.is_finite()).unwrap();
+    Err(PcdError::invariant(
+        level,
+        Phase::Score,
+        format!("edge {e} has non-finite score {}", scores[e]),
+    ))
+}
+
+/// Contraction guards. Cheap level: conservation of total edge weight,
+/// conservation of internal (self-loop) weight given the matched edges,
+/// and a well-formed old→new map. Full level additionally revalidates the
+/// whole contracted graph structure.
+fn guard_contraction(
+    level: usize,
+    paranoia: Paranoia,
+    g: &Graph,
+    matching: &Matching,
+    c: &Contraction,
+) -> Result<(), PcdError> {
+    let fail = |detail: String| Err(PcdError::invariant(level, Phase::Contract, detail));
+
+    if c.new_of_old.len() != g.num_vertices() {
+        return fail(format!(
+            "old→new map covers {} vertices, parent graph has {}",
+            c.new_of_old.len(),
+            g.num_vertices()
+        ));
+    }
+    if c.num_new != c.graph.num_vertices() {
+        return fail(format!(
+            "num_new = {} but contracted graph has {} vertices",
+            c.num_new,
+            c.graph.num_vertices()
+        ));
+    }
+    if let Some(old) = c
+        .new_of_old
+        .par_iter()
+        .position_any(|&n| n as usize >= c.num_new)
+    {
+        return fail(format!(
+            "new_of_old[{old}] = {} out of range for {} communities",
+            c.new_of_old[old], c.num_new
+        ));
+    }
+    if c.graph.total_weight() != g.total_weight() {
+        return fail(format!(
+            "total edge weight not conserved: {} before, {} after",
+            g.total_weight(),
+            c.graph.total_weight()
+        ));
+    }
+    let matched_weight: Weight = matching
+        .matched_edges()
+        .iter()
+        .map(|&e| g.weights()[e])
+        .sum();
+    let expected_internal = g.internal_weight() + matched_weight;
+    if c.graph.internal_weight() != expected_internal {
+        return fail(format!(
+            "internal weight {} != parent internal {} + matched {}",
+            c.graph.internal_weight(),
+            g.internal_weight(),
+            matched_weight
+        ));
+    }
+    if paranoia >= Paranoia::Full {
+        if let Err(msg) = c.graph.validate() {
+            return fail(format!("contracted graph fails validation: {msg}"));
+        }
+    }
+    Ok(())
 }
 
 fn run_contractor(kind: ContractorKind, g: &Graph, m: &Matching) -> Contraction {
@@ -336,6 +463,76 @@ mod tests {
             let (_, count) = pcd_metrics::compact_labels(&a);
             assert!(count < prev || k == 0);
             prev = count;
+        }
+    }
+
+    #[test]
+    fn try_detect_rejects_invalid_config() {
+        let g = pcd_gen::classic::clique(4);
+        let cfg = Config::default().with_criterion(Criterion::Coverage(f64::NAN));
+        let err = try_detect(g, &cfg).unwrap_err();
+        assert!(err.to_string().contains("coverage"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_degradation_recorded_in_level_stats() {
+        // All-even vertex ids → same-parity storage: (2,4) and (2,6) share
+        // bucket 2, (4,8) sits in bucket 4, so level 1 needs two parallel
+        // rounds under heavy-edge scoring. A cap of 1 must expire, fall
+        // back to the sequential completion, and flag the level.
+        let g = pcd_graph::GraphBuilder::new(9)
+            .add_edge(2, 4, 5)
+            .add_edge(2, 6, 1)
+            .add_edge(4, 8, 10)
+            .build();
+        let cfg = Config::default()
+            .with_scorer(ScorerKind::HeavyEdge)
+            .with_max_match_rounds(1)
+            .with_paranoia(Paranoia::Full);
+        let r = try_detect(g, &cfg).expect("degraded run must still succeed");
+        assert!(!r.levels.is_empty());
+        // Full paranoia verified every level's matching as valid and
+        // maximal, so reaching here proves graceful degradation.
+        assert!(
+            r.levels[0].matcher_degraded,
+            "cap of 1 must trip the watchdog on a 2-round level"
+        );
+        assert_eq!(r.levels[0].match_rounds, 1);
+    }
+
+    #[test]
+    fn generous_watchdog_never_degrades() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, 21));
+        let r = detect(g, &Config::default().with_paranoia(Paranoia::Full));
+        assert!(r.levels.iter().all(|l| !l.matcher_degraded));
+    }
+
+    #[test]
+    fn paranoia_levels_do_not_change_results() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, 5));
+        let off = detect(g.clone(), &Config::default());
+        for p in [Paranoia::Cheap, Paranoia::Full] {
+            let guarded = detect(g.clone(), &Config::default().with_paranoia(p));
+            assert_eq!(off.assignment, guarded.assignment, "paranoia {p:?}");
+            assert_eq!(off.modularity, guarded.modularity);
+            assert_eq!(off.levels.len(), guarded.levels.len());
+        }
+    }
+
+    #[test]
+    fn paranoia_guards_pass_on_all_kernels() {
+        let g = pcd_gen::classic::clique_ring(6, 5);
+        for contractor in [
+            ContractorKind::Bucket,
+            ContractorKind::BucketFetchAdd,
+            ContractorKind::Linked,
+            ContractorKind::Sequential,
+        ] {
+            let cfg = Config::default()
+                .with_contractor(contractor)
+                .with_paranoia(Paranoia::Full);
+            let r = try_detect(g.clone(), &cfg);
+            assert!(r.is_ok(), "contractor {contractor:?}: {:?}", r.err());
         }
     }
 

@@ -21,14 +21,18 @@
 
 pub mod config;
 pub mod driver;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod multilevel;
 pub mod refine;
 pub mod result;
 pub mod scorer;
 pub mod termination;
 
-pub use config::{Config, ContractorKind, MatcherKind, ScorerKind};
-pub use driver::detect;
+pub use config::{default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia, ScorerKind};
+pub use driver::{detect, try_detect};
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultPlan;
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
 pub use refine::{detect_refined, refine, Refinement};
 pub use result::{DetectionResult, LevelStats};

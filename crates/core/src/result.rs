@@ -28,6 +28,9 @@ pub struct LevelStats {
     pub pairs_merged: usize,
     /// Matching rounds (the paper argues this stays small).
     pub match_rounds: usize,
+    /// True if the matcher watchdog expired at this level and the matching
+    /// was completed by the sequential greedy fallback.
+    pub matcher_degraded: bool,
     /// Quality after this contraction.
     pub modularity: f64,
     /// Coverage after this contraction.
@@ -127,6 +130,7 @@ mod tests {
             num_edges: 0,
             pairs_merged: 0,
             match_rounds: 0,
+            matcher_degraded: false,
             modularity: 0.0,
             coverage: 0.0,
             score_secs: s,

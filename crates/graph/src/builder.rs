@@ -9,7 +9,7 @@
 use crate::{atomic_histogram, canonical_order, Graph};
 use pcd_util::atomics::as_atomic_u64;
 use pcd_util::scan::offsets_from_counts;
-use pcd_util::{VertexId, Weight};
+use pcd_util::{PcdError, VertexId, Weight};
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 
@@ -56,11 +56,48 @@ impl GraphBuilder {
 
 /// Builds a [`Graph`] from an arbitrary multiset of weighted edges.
 ///
+/// Trusted-input entry point: panics on out-of-range endpoints or a total
+/// weight overflowing [`Weight`]. Untrusted paths (file readers, network
+/// ingest) must use [`try_from_edges`].
+///
 /// * self-pairs (`i == j`) accumulate into the self-loop array;
 /// * parallel/duplicate edges accumulate their weights;
 /// * zero-weight entries are dropped;
 /// * buckets come out contiguous and sorted by `(src, dst)`.
 pub fn from_edges(nv: usize, edges: Vec<(VertexId, VertexId, Weight)>) -> Graph {
+    try_from_edges(nv, edges).unwrap_or_else(|e| panic!("from_edges: {e}"))
+}
+
+/// Fallible [`from_edges`] for untrusted input: rejects out-of-range
+/// endpoints and edge multisets whose total weight would overflow the
+/// graph's [`Weight`] accumulator, instead of panicking or silently
+/// wrapping.
+pub fn try_from_edges(
+    nv: usize,
+    edges: Vec<(VertexId, VertexId, Weight)>,
+) -> Result<Graph, PcdError> {
+    if nv > u32::MAX as usize {
+        return Err(PcdError::corrupt(format!(
+            "vertex count {nv} exceeds the u32 id space"
+        )));
+    }
+    if let Some(&(i, j, _)) = edges
+        .par_iter()
+        .find_any(|&&(i, j, _)| i as usize >= nv || j as usize >= nv)
+    {
+        return Err(PcdError::corrupt(format!(
+            "edge ({i}, {j}) endpoint out of range for {nv} vertices"
+        )));
+    }
+    // The graph stores `total_weight = Σ w` in one u64; a hostile edge
+    // list must not be able to wrap it.
+    let mut total: Weight = 0;
+    for &(_, _, w) in &edges {
+        total = total.checked_add(w).ok_or_else(|| {
+            PcdError::corrupt("total edge weight overflows the u64 accumulator")
+        })?;
+    }
+
     // Split off self-loops and canonicalise the rest.
     let mut self_loop = vec![0u64; nv];
     let mut pairs: Vec<(VertexId, VertexId, Weight)> = {
@@ -68,7 +105,6 @@ pub fn from_edges(nv: usize, edges: Vec<(VertexId, VertexId, Weight)>) -> Graph 
         edges
             .into_par_iter()
             .filter_map(|(i, j, w)| {
-                assert!((i as usize) < nv && (j as usize) < nv, "endpoint out of range");
                 if w == 0 {
                     None
                 } else if i == j {
@@ -92,7 +128,7 @@ pub fn from_edges(nv: usize, edges: Vec<(VertexId, VertexId, Weight)>) -> Graph 
     let bucket_begin = offsets[..nv].to_vec();
     let bucket_end = offsets[1..=nv].to_vec();
 
-    Graph::from_parts(nv, src, dst, weight, bucket_begin, bucket_end, self_loop)
+    Ok(Graph::from_parts(nv, src, dst, weight, bucket_begin, bucket_end, self_loop))
 }
 
 /// Segmented reduction over a sorted edge list: collapse equal `(src, dst)`
@@ -205,6 +241,25 @@ mod tests {
         let g = from_edges(nv, edges);
         assert_eq!(g.validate(), Ok(()));
         assert_eq!(g.total_weight(), expected);
+    }
+
+    #[test]
+    fn try_from_edges_rejects_out_of_range_endpoint() {
+        let err = try_from_edges(2, vec![(0, 1, 1), (0, 5, 1)]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn try_from_edges_rejects_weight_overflow() {
+        let err = try_from_edges(3, vec![(0, 1, u64::MAX), (1, 2, 1)]).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn try_from_edges_accepts_valid() {
+        let g = try_from_edges(3, vec![(0, 1, 2), (1, 1, 3)]).unwrap();
+        assert_eq!(g.total_weight(), 5);
+        assert_eq!(g.validate(), Ok(()));
     }
 
     #[test]

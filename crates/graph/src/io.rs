@@ -2,17 +2,28 @@
 //! format for fast reloading of generated benchmark graphs.
 
 use crate::{builder, Graph};
-use pcd_util::{VertexId, Weight};
+use pcd_util::{PcdError, VertexId, Weight};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Largest vertex id a reader accepts. `u32::MAX` itself is reserved for
+/// the [`pcd_util::NO_VERTEX`] sentinel, and `nv = max id + 1` must still
+/// fit `u32`, so ids above this are rejected instead of being silently
+/// truncated.
+pub const MAX_VERTEX_ID: u64 = u32::MAX as u64 - 1;
 
 /// Reads a whitespace-separated edge list: one `i j [w]` per line; `#` or
 /// `%` lines are comments. Vertices are the ids as written; `nv` becomes
 /// `max id + 1`.
-pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
+///
+/// Untrusted input: ids above [`MAX_VERTEX_ID`] and weights that would
+/// overflow the graph's total-weight accumulator return line-numbered
+/// errors; nothing in this path panics.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, PcdError> {
     let reader = BufReader::new(reader);
     let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
     let mut max_id: u32 = 0;
+    let mut total: Weight = 0;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let t = line.trim();
@@ -20,29 +31,37 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse = |s: Option<&str>, what: &str| -> io::Result<u64> {
-            s.ok_or_else(|| bad(lineno, &format!("missing {what}")))?
+        let parse = |s: Option<&str>, what: &str| -> Result<u64, PcdError> {
+            s.ok_or_else(|| PcdError::parse_at(lineno, format!("missing {what}")))?
                 .parse::<u64>()
-                .map_err(|_| bad(lineno, &format!("unparsable {what}")))
+                .map_err(|_| PcdError::parse_at(lineno, format!("unparsable {what}")))
         };
-        let i = parse(it.next(), "source")? as VertexId;
-        let j = parse(it.next(), "target")? as VertexId;
+        let id = |raw: u64, what: &str| -> Result<VertexId, PcdError> {
+            if raw > MAX_VERTEX_ID {
+                Err(PcdError::parse_at(
+                    lineno,
+                    format!("{what} id {raw} exceeds the maximum {MAX_VERTEX_ID}"),
+                ))
+            } else {
+                Ok(raw as VertexId)
+            }
+        };
+        let i = id(parse(it.next(), "source")?, "source")?;
+        let j = id(parse(it.next(), "target")?, "target")?;
         let w = match it.next() {
-            Some(s) => s.parse::<u64>().map_err(|_| bad(lineno, "unparsable weight"))?,
+            Some(s) => s
+                .parse::<u64>()
+                .map_err(|_| PcdError::parse_at(lineno, "unparsable weight"))?,
             None => 1,
         };
+        total = total.checked_add(w).ok_or_else(|| {
+            PcdError::parse_at(lineno, "total weight overflows the u64 accumulator")
+        })?;
         max_id = max_id.max(i).max(j);
         edges.push((i, j, w));
     }
     let nv = if edges.is_empty() { 0 } else { max_id as usize + 1 };
-    Ok(builder::from_edges(nv, edges))
-}
-
-fn bad(lineno: usize, msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("edge list line {}: {msg}", lineno + 1),
-    )
+    builder::try_from_edges(nv, edges)
 }
 
 /// Writes the graph as a weighted edge list (self-loops as `v v w`).
@@ -87,22 +106,58 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
 }
 
 /// Reads the binary format written by [`write_binary`].
-pub fn read_binary<R: Read>(reader: R) -> io::Result<Graph> {
+///
+/// Generic readers have no length oracle, so the body is read
+/// incrementally and a truncated stream surfaces as an error rather than
+/// an over-allocation. When the total size *is* known (files — see
+/// [`load`]), use [`read_binary_limited`], which cross-checks the header
+/// against the real length before reading the body.
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, PcdError> {
+    read_binary_limited(reader, None)
+}
+
+/// Bytes per edge in the binary body: `src` + `dst` (u32) and weight (u64).
+const BIN_EDGE_BYTES: u64 = 4 + 4 + 8;
+/// Bytes of magic + `nv` + `ne` preamble.
+const BIN_PREAMBLE_BYTES: u64 = 8 + 8 + 8;
+
+/// As [`read_binary`], with the total input length (including magic and
+/// header) when known. A header whose `nv`/`ne` disagree with the
+/// available bytes is rejected *before* any allocation, so a corrupt or
+/// truncated `.bin` cannot trigger a multi-GB allocation attempt.
+pub fn read_binary_limited<R: Read>(
+    reader: R,
+    available_bytes: Option<u64>,
+) -> Result<Graph, PcdError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BIN_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(PcdError::corrupt("bad magic"));
     }
     let nv = read_u64(&mut r)? as usize;
     let ne = read_u64(&mut r)? as usize;
     // Untrusted sizes: refuse anything that cannot fit u32 vertex ids
     // before allocating (a corrupt header must not trigger OOM).
     if nv > u32::MAX as usize || ne > (u32::MAX as usize) * 8 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible header sizes"));
+        return Err(PcdError::corrupt(format!(
+            "implausible header sizes nv={nv} ne={ne}"
+        )));
+    }
+    let need = (ne as u64)
+        .checked_mul(BIN_EDGE_BYTES)
+        .and_then(|b| b.checked_add((nv as u64).checked_mul(8)?))
+        .ok_or_else(|| PcdError::corrupt("header sizes overflow the byte count"))?;
+    if let Some(avail) = available_bytes {
+        let body = avail.saturating_sub(BIN_PREAMBLE_BYTES);
+        if need != body {
+            return Err(PcdError::corrupt(format!(
+                "header declares nv={nv} ne={ne} ({need} body bytes) but input has {body}"
+            )));
+        }
     }
     // Grow buffers only as data actually arrives, so a corrupt header
-    // cannot force a huge upfront allocation.
+    // cannot force a huge upfront allocation even without a length oracle.
     let mut edges = Vec::new();
     let mut src = Vec::new();
     for _ in 0..ne {
@@ -113,7 +168,13 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<Graph> {
         dst.push(read_u32(&mut r)?);
     }
     for e in 0..ne {
-        edges.push((src[e], dst[e], read_u64(&mut r)?));
+        let (i, j) = (src[e], dst[e]);
+        if i as usize >= nv || j as usize >= nv {
+            return Err(PcdError::corrupt(format!(
+                "edge {e} endpoint ({i}, {j}) out of range for {nv} vertices"
+            )));
+        }
+        edges.push((i, j, read_u64(&mut r)?));
     }
     for v in 0..nv {
         let s = read_u64(&mut r)?;
@@ -121,7 +182,7 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<Graph> {
             edges.push((v as u32, v as u32, s));
         }
     }
-    Ok(builder::from_edges(nv, edges))
+    builder::try_from_edges(nv, edges)
 }
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
@@ -166,7 +227,7 @@ pub fn write_metis<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
 
 /// Reads the METIS / DIMACS-challenge format (fmt codes 0 = unweighted
 /// and 1/001 = edge-weighted are supported).
-pub fn read_metis<R: Read>(reader: R) -> io::Result<Graph> {
+pub fn read_metis<R: Read>(reader: R) -> Result<Graph, PcdError> {
     let reader = BufReader::new(reader);
     let mut lines = reader.lines().enumerate().filter_map(|(n, l)| match l {
         Ok(s) => {
@@ -181,64 +242,83 @@ pub fn read_metis<R: Read>(reader: R) -> io::Result<Graph> {
     });
     let (hline, header) = lines
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty METIS file"))??;
+        .ok_or_else(|| PcdError::corrupt("empty METIS file"))??;
     let mut parts = header.split_whitespace();
     let nv: usize = parts
         .next()
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad(hline, "bad vertex count"))?;
+        .ok_or_else(|| PcdError::parse_at(hline, "bad vertex count"))?;
     let ne: usize = parts
         .next()
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad(hline, "bad edge count"))?;
+        .ok_or_else(|| PcdError::parse_at(hline, "bad edge count"))?;
+    if nv as u64 > MAX_VERTEX_ID + 1 {
+        return Err(PcdError::parse_at(
+            hline,
+            format!("vertex count {nv} exceeds the u32 id space"),
+        ));
+    }
     let fmt = parts.next().unwrap_or("0");
     let weighted = matches!(fmt, "1" | "001" | "011");
     if matches!(fmt, "10" | "11" | "010" | "110" | "111") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "METIS vertex weights are not supported",
-        ));
+        return Err(PcdError::corrupt("METIS vertex weights are not supported"));
     }
 
-    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(ne);
+    // `ne` is untrusted: cap the pre-allocation, the vector grows as real
+    // data arrives.
+    let mut edges: Vec<(VertexId, VertexId, Weight)> =
+        Vec::with_capacity(ne.min(1 << 20));
+    let mut total: Weight = 0;
     let mut v: u32 = 0;
     for item in lines {
         let (lineno, line) = item?;
         if v as usize >= nv {
-            return Err(bad(lineno, "more vertex lines than the header declares"));
+            return Err(PcdError::parse_at(
+                lineno,
+                "more vertex lines than the header declares",
+            ));
         }
         let mut it = line.split_whitespace();
         loop {
             let Some(tok) = it.next() else { break };
-            let u: u64 = tok.parse().map_err(|_| bad(lineno, "bad neighbour id"))?;
+            let u: u64 = tok
+                .parse()
+                .map_err(|_| PcdError::parse_at(lineno, "bad neighbour id"))?;
             if u == 0 || u as usize > nv {
-                return Err(bad(lineno, "neighbour id out of range"));
+                return Err(PcdError::parse_at(lineno, "neighbour id out of range"));
             }
             let wt: u64 = if weighted {
                 it.next()
-                    .ok_or_else(|| bad(lineno, "missing edge weight"))?
+                    .ok_or_else(|| PcdError::parse_at(lineno, "missing edge weight"))?
                     .parse()
-                    .map_err(|_| bad(lineno, "bad edge weight"))?
+                    .map_err(|_| PcdError::parse_at(lineno, "bad edge weight"))?
             } else {
                 1
             };
             let u = (u - 1) as u32;
             // Each edge appears in both endpoints' lines; keep one copy.
             if v <= u {
+                total = total.checked_add(wt).ok_or_else(|| {
+                    PcdError::parse_at(lineno, "total weight overflows the u64 accumulator")
+                })?;
                 edges.push((v, u, wt));
             }
         }
         v += 1;
     }
-    Ok(builder::from_edges(nv, edges))
+    builder::try_from_edges(nv, edges)
 }
 
 /// Convenience: loads a graph from a path, dispatching on extension
-/// (`.bin` → binary, anything else → edge list).
-pub fn load(path: &Path) -> io::Result<Graph> {
+/// (`.bin` → binary, `.metis`/`.graph` → METIS, anything else → edge
+/// list). Binary reads are validated against the file's real length.
+pub fn load(path: &Path) -> Result<Graph, PcdError> {
     let f = std::fs::File::open(path)?;
     match path.extension().and_then(|e| e.to_str()) {
-        Some("bin") => read_binary(f),
+        Some("bin") => {
+            let len = f.metadata().ok().map(|m| m.len());
+            read_binary_limited(f, len)
+        }
         Some("metis") | Some("graph") => read_metis(f),
         _ => read_edge_list(f),
     }
@@ -319,6 +399,75 @@ mod tests {
     fn bad_magic_rejected() {
         let buf = b"NOTMAGIC________".to_vec();
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn oversize_vertex_id_rejected_with_line() {
+        let text = format!("0 1\n{} 1\n", u32::MAX as u64);
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // The largest accepted id is MAX_VERTEX_ID == u32::MAX - 1; an id
+        // one beyond (== NO_VERTEX) must fail, one below is parseable.
+        assert!(read_edge_list(format!("{} 1\n", MAX_VERTEX_ID + 1).as_bytes()).is_err());
+    }
+
+    #[test]
+    fn weight_overflow_rejected_with_line() {
+        let text = format!("0 1 {}\n1 2 2\n", u64::MAX);
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn binary_header_checked_against_length() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // With the true length the read succeeds.
+        assert!(read_binary_limited(&buf[..], Some(buf.len() as u64)).is_ok());
+        // Lie about the header's edge count: rejected before any body read.
+        let mut lying = buf.clone();
+        lying[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_binary_limited(&lying[..], Some(lying.len() as u64)).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+        // A merely-too-large (but plausible) count is caught by the length
+        // cross-check.
+        let mut padded = buf.clone();
+        padded[16..24].copy_from_slice(&1000u64.to_le_bytes());
+        let err = read_binary_limited(&padded[..], Some(padded.len() as u64)).unwrap_err();
+        assert!(err.to_string().contains("but input has"), "{err}");
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let r = read_binary(&buf[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+            let r = read_binary_limited(&buf[..cut], Some(cut as u64));
+            assert!(r.is_err(), "limited prefix of {cut} bytes unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn binary_out_of_range_endpoint_rejected() {
+        // nv = 2, ne = 1, edge (7, 9): endpoints beyond nv must error, not
+        // panic in the builder.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BIN_MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

@@ -32,10 +32,23 @@ pub mod parallel;
 pub mod seq;
 pub mod verify;
 
-pub use parallel::match_unmatched_list;
+pub use parallel::{match_unmatched_list, match_unmatched_list_capped};
 
 use pcd_graph::Graph;
 use pcd_util::{VertexId, NO_VERTEX};
+
+/// Outcome of a round-capped matching run ([`match_unmatched_list_capped`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome {
+    /// The matching — always valid and maximal over positive scores,
+    /// whether or not the watchdog fired.
+    pub matching: Matching,
+    /// Parallel rounds executed (excludes the sequential fallback pass).
+    pub rounds: usize,
+    /// True if the round cap expired and the remaining live vertices were
+    /// matched by the sequential greedy fallback.
+    pub degraded: bool,
+}
 
 /// Result of a matching pass over a community graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +105,14 @@ impl Matching {
     /// Sum of the scores of matched edges.
     pub fn total_score(&self, scores: &[f64]) -> f64 {
         self.edges.iter().map(|&e| scores[e]).sum()
+    }
+
+    /// Builds a `Matching` from raw parts **without validation**. Only for
+    /// the fault-injection harness, so tests can hand the driver an
+    /// invalid matching and prove the runtime guards reject it.
+    #[cfg(feature = "fault-injection")]
+    pub fn from_raw_parts(mate: Vec<VertexId>, edges: Vec<usize>) -> Self {
+        Matching::new(mate, edges)
     }
 }
 

@@ -23,7 +23,7 @@
 //! sequential greedy. The number of rounds is small on social networks
 //! (the paper: "effectively O(|E|)" total work).
 
-use crate::{edge_beats, Matching};
+use crate::{edge_beats, MatchOutcome, Matching};
 use pcd_graph::Graph;
 use pcd_util::atomics::as_atomic_u32;
 use pcd_util::{VertexId, NO_VERTEX};
@@ -46,6 +46,23 @@ pub fn match_unmatched_list(g: &Graph, scores: &[f64]) -> Matching {
 /// As [`match_unmatched_list`], additionally returning the round count
 /// (the paper argues this stays small on social networks).
 pub fn match_unmatched_list_stats(g: &Graph, scores: &[f64]) -> (Matching, usize) {
+    let out = match_unmatched_list_capped(g, scores, usize::MAX);
+    (out.matching, out.rounds)
+}
+
+/// As [`match_unmatched_list_stats`], with a watchdog: after `max_rounds`
+/// parallel rounds the algorithm stops trusting its own convergence and
+/// degrades to sequential greedy matching over the remaining live
+/// vertices. The round count is provably bounded in theory (every round
+/// matches at least the globally best eligible edge), but a production
+/// service guards against its own bugs: a miscompiled CAS loop or a
+/// corrupted score array must cost throughput, not liveness. The result
+/// is a valid maximal matching either way.
+pub fn match_unmatched_list_capped(
+    g: &Graph,
+    scores: &[f64],
+    max_rounds: usize,
+) -> MatchOutcome {
     assert_eq!(scores.len(), g.num_edges());
     let nv = g.num_vertices();
     let mut mate: Vec<u32> = vec![NO_VERTEX; nv];
@@ -60,7 +77,7 @@ pub fn match_unmatched_list_stats(g: &Graph, scores: &[f64]) -> (Matching, usize
     let mut matched_edges: Vec<usize> = Vec::new();
     let mut rounds = 0usize;
 
-    while !list.is_empty() {
+    while !list.is_empty() && rounds < max_rounds {
         rounds += 1;
 
         // Pass 1: propose. `mate` is read-only during this pass.
@@ -156,7 +173,48 @@ pub fn match_unmatched_list_stats(g: &Graph, scores: &[f64]) -> (Matching, usize
         }
     }
 
-    (Matching::new(mate, matched_edges), rounds)
+    // Watchdog expired (or the defensive break fired) with live vertices
+    // remaining: finish them off sequentially so the matching stays maximal.
+    let degraded = !list.is_empty();
+    if degraded {
+        complete_sequential(g, scores, &mut mate, &mut matched_edges);
+    }
+
+    MatchOutcome { matching: Matching::new(mate, matched_edges), rounds, degraded }
+}
+
+/// Sequential greedy completion over whatever is still unmatched. Uses
+/// `total_cmp` so even NaN scores (which the eligibility filter excludes,
+/// but a corrupted array could smuggle past `> 0.0` elsewhere) cannot
+/// panic the fallback path.
+fn complete_sequential(
+    g: &Graph,
+    scores: &[f64],
+    mate: &mut [VertexId],
+    matched_edges: &mut Vec<usize>,
+) {
+    let mut candidates: Vec<usize> = (0..g.num_edges())
+        .filter(|&e| {
+            let (i, j, _) = g.edge(e);
+            scores[e] > 0.0
+                && mate[i as usize] == NO_VERTEX
+                && mate[j as usize] == NO_VERTEX
+        })
+        .collect();
+    candidates.sort_unstable_by(|&a, &b| {
+        scores[b]
+            .total_cmp(&scores[a])
+            .then(g.srcs()[b].cmp(&g.srcs()[a]))
+            .then(g.dsts()[b].cmp(&g.dsts()[a]))
+    });
+    for e in candidates {
+        let (i, j, _) = g.edge(e);
+        if mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX {
+            mate[i as usize] = j;
+            mate[j as usize] = i;
+            matched_edges.push(e);
+        }
+    }
 }
 
 /// CAS-max of edge `e` into `cell` under the total order.
@@ -274,5 +332,65 @@ mod tests {
         let (m, rounds) = match_unmatched_list_stats(&g, &s);
         assert!(verify_matching(&g, &s, &m).is_ok());
         assert!(rounds < 64, "rounds = {rounds}");
+    }
+
+    /// A graph that provably needs two parallel rounds: all endpoints even
+    /// (same parity, so (min, max) storage), edges (2,4,w5) and (2,6,w1) in
+    /// bucket 2, (4,8,w10) in bucket 4. Round 1 matches (4,8) — best[4]
+    /// prefers it over (2,4) — leaving vertex 2 live with only (2,6)
+    /// eligible, which round 2 matches.
+    fn two_round_graph() -> (Graph, Vec<f64>) {
+        let g = GraphBuilder::new(9)
+            .add_edge(2, 4, 5)
+            .add_edge(2, 6, 1)
+            .add_edge(4, 8, 10)
+            .build();
+        let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+        (g, s)
+    }
+
+    #[test]
+    fn two_round_graph_takes_two_rounds() {
+        let (g, s) = two_round_graph();
+        let out = match_unmatched_list_capped(&g, &s, usize::MAX);
+        assert_eq!(out.rounds, 2);
+        assert!(!out.degraded);
+        assert_eq!(out.matching.mate(4), Some(8));
+        assert_eq!(out.matching.mate(2), Some(6));
+        assert!(verify_matching(&g, &s, &out.matching).is_ok());
+    }
+
+    #[test]
+    fn watchdog_degrades_to_sequential_completion() {
+        let (g, s) = two_round_graph();
+        let capped = match_unmatched_list_capped(&g, &s, 1);
+        assert_eq!(capped.rounds, 1);
+        assert!(capped.degraded, "cap of 1 must expire on a 2-round graph");
+        // The fallback must restore maximality; here it also reproduces the
+        // uncapped matching exactly.
+        assert!(verify_matching(&g, &s, &capped.matching).is_ok());
+        let uncapped = match_unmatched_list_capped(&g, &s, usize::MAX);
+        assert_eq!(capped.matching, uncapped.matching);
+    }
+
+    #[test]
+    fn watchdog_cap_zero_is_fully_sequential() {
+        let p = pcd_gen::RmatParams::paper(7, 6);
+        let g = pcd_gen::rmat_graph(&p);
+        let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+        let out = match_unmatched_list_capped(&g, &s, 0);
+        assert_eq!(out.rounds, 0);
+        assert!(out.degraded);
+        assert!(verify_matching(&g, &s, &out.matching).is_ok());
+    }
+
+    #[test]
+    fn generous_cap_never_degrades() {
+        let p = pcd_gen::RmatParams::paper(8, 4);
+        let g = pcd_gen::rmat_graph(&p);
+        let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+        let out = match_unmatched_list_capped(&g, &s, 1024);
+        assert!(!out.degraded);
+        assert!(verify_matching(&g, &s, &out.matching).is_ok());
     }
 }

@@ -1,0 +1,198 @@
+//! The crate-spanning structured error type.
+//!
+//! The paper's reference code is a research harness that trusts its input;
+//! a production service cannot. Every untrusted-input path (graph readers,
+//! the builder, CLI parsing, configuration) and every runtime invariant
+//! guard reports through [`PcdError`] instead of panicking, so one
+//! malformed graph or one miscompiled kernel cannot take a whole serving
+//! process down. Hand-rolled (`Display` + `std::error::Error`) — no new
+//! dependencies.
+
+use std::fmt;
+
+/// Which phase of the agglomerative loop a runtime invariant guard was
+/// protecting when it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Edge scoring (scores must be finite).
+    Score,
+    /// Matching (must be a valid matching: symmetric, self-free, each
+    /// vertex used at most once, maximal over positive scores).
+    Match,
+    /// Contraction (must conserve weight and relabel onto dense new ids).
+    Contract,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Score => write!(f, "score"),
+            Phase::Match => write!(f, "match"),
+            Phase::Contract => write!(f, "contract"),
+        }
+    }
+}
+
+/// Structured error for every fallible path in the workspace.
+#[derive(Debug)]
+pub enum PcdError {
+    /// An underlying I/O failure (file missing, short read, ...).
+    Io(std::io::Error),
+    /// Malformed text input at a 1-based line number.
+    Parse {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// Structurally corrupt input (bad magic, implausible header, ids or
+    /// weights out of range) not attributable to one text line.
+    Corrupt {
+        /// What was wrong.
+        msg: String,
+    },
+    /// An invalid [`Config`](https://docs.rs/pcd-core)-style configuration.
+    Config {
+        /// What was wrong.
+        msg: String,
+    },
+    /// A command-line usage error (unknown flag, missing argument).
+    Usage {
+        /// What was wrong.
+        msg: String,
+    },
+    /// A runtime invariant guard fired: the hierarchy state at `level`
+    /// would have been corrupted by the `phase` kernel.
+    InvariantViolation {
+        /// Contraction level (1-based) at which the guard fired.
+        level: usize,
+        /// The kernel phase the guard was protecting.
+        phase: Phase,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+    /// An error wrapped with higher-level context (e.g. a file path).
+    Context {
+        /// The added context.
+        context: String,
+        /// The underlying error.
+        source: Box<PcdError>,
+    },
+}
+
+impl PcdError {
+    /// Builds a [`PcdError::Parse`] with a 0-based line index as produced
+    /// by `lines().enumerate()`.
+    pub fn parse_at(lineno0: usize, msg: impl Into<String>) -> Self {
+        PcdError::Parse { line: lineno0 + 1, msg: msg.into() }
+    }
+
+    /// Builds a [`PcdError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        PcdError::Corrupt { msg: msg.into() }
+    }
+
+    /// Builds a [`PcdError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        PcdError::Config { msg: msg.into() }
+    }
+
+    /// Builds a [`PcdError::Usage`].
+    pub fn usage(msg: impl Into<String>) -> Self {
+        PcdError::Usage { msg: msg.into() }
+    }
+
+    /// Builds a [`PcdError::InvariantViolation`].
+    pub fn invariant(level: usize, phase: Phase, detail: impl Into<String>) -> Self {
+        PcdError::InvariantViolation { level, phase, detail: detail.into() }
+    }
+
+    /// Wraps `self` with context (typically a file path or command name).
+    #[must_use]
+    pub fn context(self, context: impl Into<String>) -> Self {
+        PcdError::Context { context: context.into(), source: Box::new(self) }
+    }
+
+    /// True if this error (or the error it wraps) is an
+    /// [`PcdError::InvariantViolation`].
+    pub fn is_invariant_violation(&self) -> bool {
+        match self {
+            PcdError::InvariantViolation { .. } => true,
+            PcdError::Context { source, .. } => source.is_invariant_violation(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcdError::Io(e) => write!(f, "io error: {e}"),
+            PcdError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            PcdError::Corrupt { msg } => write!(f, "corrupt input: {msg}"),
+            PcdError::Config { msg } => write!(f, "invalid configuration: {msg}"),
+            PcdError::Usage { msg } => write!(f, "{msg}"),
+            PcdError::InvariantViolation { level, phase, detail } => {
+                write!(f, "invariant violation at level {level} in {phase} phase: {detail}")
+            }
+            PcdError::Context { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for PcdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PcdError::Io(e) => Some(e),
+            PcdError::Context { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PcdError {
+    fn from(e: std::io::Error) -> Self {
+        PcdError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_formats() {
+        let e = PcdError::parse_at(4, "unparsable weight");
+        assert_eq!(e.to_string(), "line 5: unparsable weight");
+        let e = PcdError::invariant(2, Phase::Contract, "weight lost");
+        assert_eq!(
+            e.to_string(),
+            "invariant violation at level 2 in contract phase: weight lost"
+        );
+        let e = PcdError::corrupt("bad magic").context("graph.bin");
+        assert_eq!(e.to_string(), "graph.bin: corrupt input: bad magic");
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short");
+        let e: PcdError = inner.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("short"));
+    }
+
+    #[test]
+    fn invariant_detection_through_context() {
+        let e = PcdError::invariant(1, Phase::Score, "NaN").context("detect");
+        assert!(e.is_invariant_violation());
+        assert!(!PcdError::usage("nope").is_invariant_violation());
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::Score.to_string(), "score");
+        assert_eq!(Phase::Match.to_string(), "match");
+        assert_eq!(Phase::Contract.to_string(), "contract");
+    }
+}

@@ -15,12 +15,18 @@
 //!   harness (the paper reports min/median over three runs).
 //! * [`pool`] — helpers for running a closure on a rayon pool of an exact
 //!   size, the analogue of `OMP_NUM_THREADS` sweeps.
+//! * [`error`] — the crate-spanning structured [`PcdError`] every fallible
+//!   path (readers, builders, CLI, runtime invariant guards) reports
+//!   through instead of panicking.
 
 pub mod atomics;
+pub mod error;
 pub mod pool;
 pub mod rng;
 pub mod scan;
 pub mod timing;
+
+pub use error::{PcdError, Phase};
 
 /// Vertex identifier. The paper stores 64-bit labels on the XMT and 32-bit
 /// labels for the largest graph on Intel; 32 bits cover every graph this

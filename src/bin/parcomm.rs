@@ -1,42 +1,68 @@
 //! `parcomm` — command-line community detection.
 //!
-//! ```text
-//! parcomm gen <rmat|sbm|web|lfr|clique-ring|karate> [options] -o <file>
-//! parcomm detect <graph-file> [options]
-//! parcomm stats <graph-file>
-//! parcomm convert <in-file> <out-file>
-//! parcomm compare <graph-file>          # vs CNM / Louvain / label prop
-//! parcomm seed <graph-file> <vertex>    # Andersen-Lang seed expansion
-//! parcomm communities <graph-file> [--top N]  # per-community report
-//!
-//! gen options:
-//!   --scale N       R-MAT scale (rmat)
-//!   --vertices N    vertex count (sbm / web)
-//!   --cliques K --size S   (clique-ring)
-//!   --seed N
-//! detect options:
-//!   --scorer modularity|conductance|heavy
-//!   --coverage F    stop at coverage >= F (paper rule: 0.5)
-//!   --max-levels N
-//!   --max-size N    mask merges creating communities above N vertices
-//!   --refine N      run N refinement sweeps afterwards
-//!   --threads N
-//!   --assignments FILE   write "vertex community" lines
-//! ```
-//!
+//! Run `parcomm --help` for the full usage text (mirrored in [`USAGE`]).
 //! Files ending in `.bin` use the compact binary format; anything else is
-//! a whitespace edge list.
+//! a whitespace edge list. All input is treated as untrusted: malformed
+//! files, out-of-range ids and bad flags produce structured errors, never
+//! panics.
 
 use parcomm::core::refine::detect_refined;
+use parcomm::core::{try_detect, Paranoia};
 use parcomm::prelude::*;
+use parcomm::util::PcdError;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "\
+usage: parcomm <command> [options]
+
+commands:
+  gen <rmat|sbm|web|lfr|clique-ring|karate> [options] -o <file>
+                                generate a graph
+  detect <graph-file> [options] run community detection
+  stats <graph-file>            structural statistics
+  convert <in-file> <out-file>  convert between edge-list and .bin
+  compare <graph-file>          vs CNM / Louvain / label propagation
+  seed <graph-file> <vertex>    Andersen-Lang seed-set expansion
+  communities <graph-file>      per-community report
+
+gen options:
+  --scale N        R-MAT scale (rmat; default 14)
+  --vertices N     vertex count (sbm / web / lfr)
+  --cliques K --size S   ring of K cliques of S vertices (clique-ring)
+  --mixing F       LFR mixing parameter (default 0.2)
+  --seed N         RNG seed (default 42)
+  -o, --out FILE   output path (required)
+
+detect options:
+  --scorer modularity|conductance|heavy
+  --coverage F     stop at coverage >= F (paper rule: 0.5)
+  --max-levels N   stop after N contraction levels
+  --max-size N     mask merges creating communities above N vertices
+  --refine N       run N refinement sweeps afterwards
+  --threads N      rayon pool size (0 = default)
+  --paranoia off|cheap|full   runtime invariant guards (default off)
+  --max-match-rounds N        matcher watchdog cap (default 4*ceil(log2 nv)+64)
+  --assignments FILE   write \"vertex community\" lines
+
+seed options:
+  --max-size N     expansion budget (default 1000)
+
+communities options:
+  --top N          how many largest communities to print (default 20)
+
+Files ending in .bin use the compact binary format; anything else is a
+whitespace edge list.";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.first().map(String::as_str) == Some("help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let Some(cmd) = args.first() else {
-        eprintln!("usage: parcomm <gen|detect|stats|convert> ... (see --help in source)");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -48,12 +74,17 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "seed" => cmd_seed(rest),
         "communities" => cmd_communities(rest),
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(PcdError::usage(format!(
+            "unknown command '{other}' (run parcomm --help)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            if matches!(e, PcdError::Usage { .. }) {
+                eprintln!("run parcomm --help for usage");
+            }
             ExitCode::FAILURE
         }
     }
@@ -62,6 +93,32 @@ fn main() -> ExitCode {
 struct Flags<'a>(&'a [String]);
 
 impl<'a> Flags<'a> {
+    /// Rejects any `--flag` (or `-x` shorthand) not in `allowed`, so a
+    /// typo like `--converage 0.5` fails loudly instead of being silently
+    /// ignored (and then treated as two positionals). Every flag in this
+    /// CLI takes a value, so a flag with nothing after it is also an error.
+    fn check_allowed(&self, cmd: &str, allowed: &[&str]) -> Result<(), PcdError> {
+        let mut i = 0;
+        while i < self.0.len() {
+            let a = &self.0[i];
+            if a.starts_with("--") || a == "-o" {
+                if !allowed.contains(&a.as_str()) {
+                    return Err(PcdError::usage(format!(
+                        "{cmd}: unknown flag '{a}' (allowed: {})",
+                        if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
+                    )));
+                }
+                if i + 1 >= self.0.len() {
+                    return Err(PcdError::usage(format!("{cmd}: {a} requires a value")));
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
     fn get(&self, name: &str) -> Option<&str> {
         self.0
             .iter()
@@ -70,10 +127,18 @@ impl<'a> Flags<'a> {
             .map(|s| s.as_str())
     }
 
-    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    /// A flag's value parsed into `T`, or `default` when absent. A flag at
+    /// the end of the line with no value, or an unparsable value, is a
+    /// usage error.
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, PcdError> {
+        if self.0.iter().any(|a| a == name) && self.get(name).is_none() {
+            return Err(PcdError::usage(format!("{name} requires a value")));
+        }
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| PcdError::usage(format!("bad value for {name}: '{v}'"))),
         }
     }
 
@@ -99,10 +164,22 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn usage(msg: impl Into<String>) -> PcdError {
+    PcdError::usage(msg)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let kind = f.positional(0).ok_or("gen: missing kind")?.to_string();
-    let out: PathBuf = f.get("-o").or(f.get("--out")).ok_or("gen: missing -o <file>")?.into();
+    f.check_allowed(
+        "gen",
+        &["-o", "--out", "--seed", "--scale", "--vertices", "--cliques", "--size", "--mixing"],
+    )?;
+    let kind = f.positional(0).ok_or_else(|| usage("gen: missing kind"))?.to_string();
+    let out: PathBuf = f
+        .get("-o")
+        .or(f.get("--out"))
+        .ok_or_else(|| usage("gen: missing -o <file>"))?
+        .into();
     let seed: u64 = f.parse("--seed", 42)?;
     let graph = match kind.as_str() {
         "rmat" => {
@@ -128,9 +205,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             let mu: f64 = f.parse("--mixing", 0.2)?;
             parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(n, mu, seed)).graph
         }
-        other => return Err(format!("gen: unknown kind '{other}'")),
+        other => return Err(usage(format!("gen: unknown kind '{other}'"))),
     };
-    parcomm::graph::io::save(&graph, &out).map_err(|e| e.to_string())?;
+    parcomm::graph::io::save(&graph, &out).map_err(PcdError::from)?;
     println!(
         "wrote {} ({} vertices, {} edges)",
         out.display(),
@@ -140,13 +217,27 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load(path: &str) -> Result<Graph, String> {
-    parcomm::graph::io::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<Graph, PcdError> {
+    parcomm::graph::io::load(std::path::Path::new(path)).map_err(|e| e.context(path))
 }
 
-fn cmd_detect(args: &[String]) -> Result<(), String> {
+fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let path = f.positional(0).ok_or("detect: missing graph file")?;
+    f.check_allowed(
+        "detect",
+        &[
+            "--scorer",
+            "--coverage",
+            "--max-levels",
+            "--max-size",
+            "--refine",
+            "--threads",
+            "--paranoia",
+            "--max-match-rounds",
+            "--assignments",
+        ],
+    )?;
+    let path = f.positional(0).ok_or_else(|| usage("detect: missing graph file"))?;
     let g = load(path)?;
 
     let mut config = Config::default();
@@ -154,35 +245,52 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         "modularity" => {}
         "conductance" => config = config.with_scorer(ScorerKind::Conductance),
         "heavy" => config = config.with_scorer(ScorerKind::HeavyEdge),
-        other => return Err(format!("unknown scorer '{other}'")),
+        other => return Err(usage(format!("unknown scorer '{other}'"))),
     }
     if let Some(c) = f.get("--coverage") {
-        let c: f64 = c.parse().map_err(|_| "bad --coverage")?;
+        let c: f64 = c
+            .parse()
+            .map_err(|_| usage(format!("bad value for --coverage: '{c}'")))?;
         config = config.with_criterion(Criterion::Coverage(c));
     }
     if let Some(n) = f.get("--max-levels") {
         config = config.with_criterion(Criterion::MaxLevels(
-            n.parse().map_err(|_| "bad --max-levels")?,
+            n.parse()
+                .map_err(|_| usage(format!("bad value for --max-levels: '{n}'")))?,
         ));
     }
     if let Some(n) = f.get("--max-size") {
-        config = config.with_max_community_size(n.parse().map_err(|_| "bad --max-size")?);
+        config = config.with_max_community_size(
+            n.parse()
+                .map_err(|_| usage(format!("bad value for --max-size: '{n}'")))?,
+        );
+    }
+    if let Some(p) = f.get("--paranoia") {
+        config = config.with_paranoia(p.parse::<Paranoia>()?);
+    }
+    if let Some(n) = f.get("--max-match-rounds") {
+        config = config.with_max_match_rounds(
+            n.parse()
+                .map_err(|_| usage(format!("bad value for --max-match-rounds: '{n}'")))?,
+        );
     }
     let refine_sweeps: usize = f.parse("--refine", 0)?;
     let threads: usize = f.parse("--threads", 0)?;
+    // Fail on bad knob combinations before spinning up a thread pool.
+    config.validate()?;
 
     let run = move || {
         if refine_sweeps > 0 {
-            detect_refined(g, &config, refine_sweeps).0
+            Ok(detect_refined(g, &config, refine_sweeps).0)
         } else {
-            detect(g, &config)
+            try_detect(g, &config)
         }
     };
     let r = if threads > 0 {
         parcomm::util::pool::with_threads(threads, run)
     } else {
         run()
-    };
+    }?;
 
     println!("communities:  {}", r.num_communities);
     println!("modularity:   {:.4}", r.modularity);
@@ -198,21 +306,24 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
             100.0 * c / (s + m + c)
         );
     }
+    let degraded = r.levels.iter().filter(|l| l.matcher_degraded).count();
+    if degraded > 0 {
+        println!("warning:      matcher watchdog degraded {degraded} level(s) to sequential completion");
+    }
     if let Some(out) = f.get("--assignments") {
-        let mut w = std::io::BufWriter::new(
-            std::fs::File::create(out).map_err(|e| e.to_string())?,
-        );
+        let mut w = std::io::BufWriter::new(std::fs::File::create(out)?);
         for (v, &cid) in r.assignment.iter().enumerate() {
-            writeln!(w, "{v} {cid}").map_err(|e| e.to_string())?;
+            writeln!(w, "{v} {cid}")?;
         }
         println!("assignments:  {out}");
     }
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let path = f.positional(0).ok_or("stats: missing graph file")?;
+    f.check_allowed("stats", &[])?;
+    let path = f.positional(0).ok_or_else(|| usage("stats: missing graph file"))?;
     let g = load(path)?;
     let csr = parcomm::graph::Csr::from_graph(&g);
     let d = parcomm::graph::stats::degree_stats(&csr);
@@ -238,19 +349,21 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> Result<(), String> {
+fn cmd_convert(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let input = f.positional(0).ok_or("convert: missing input")?;
-    let output = f.positional(1).ok_or("convert: missing output")?;
+    f.check_allowed("convert", &[])?;
+    let input = f.positional(0).ok_or_else(|| usage("convert: missing input"))?;
+    let output = f.positional(1).ok_or_else(|| usage("convert: missing output"))?;
     let g = load(input)?;
-    parcomm::graph::io::save(&g, std::path::Path::new(output)).map_err(|e| e.to_string())?;
+    parcomm::graph::io::save(&g, std::path::Path::new(output)).map_err(PcdError::from)?;
     println!("converted {input} -> {output}");
     Ok(())
 }
 
-fn cmd_compare(args: &[String]) -> Result<(), String> {
+fn cmd_compare(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let path = f.positional(0).ok_or("compare: missing graph file")?;
+    f.check_allowed("compare", &[])?;
+    let path = f.positional(0).ok_or_else(|| usage("compare: missing graph file"))?;
     let g = load(path)?;
     println!("{:<20} {:>8} {:>8} {:>9} {:>9}", "method", "Q", "cover", "#comm", "time");
     let report = |label: &str, a: &[u32], secs: f64| {
@@ -287,18 +400,19 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_seed(args: &[String]) -> Result<(), String> {
+fn cmd_seed(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let path = f.positional(0).ok_or("seed: missing graph file")?;
+    f.check_allowed("seed", &["--max-size"])?;
+    let path = f.positional(0).ok_or_else(|| usage("seed: missing graph file"))?;
     let seed: u32 = f
         .positional(1)
-        .ok_or("seed: missing seed vertex")?
+        .ok_or_else(|| usage("seed: missing seed vertex"))?
         .parse()
-        .map_err(|_| "bad seed vertex")?;
+        .map_err(|_| usage("bad seed vertex"))?;
     let max_size: usize = f.parse("--max-size", 1000)?;
     let g = load(path)?;
     if seed as usize >= g.num_vertices() {
-        return Err(format!("seed {seed} out of range (|V| = {})", g.num_vertices()));
+        return Err(usage(format!("seed {seed} out of range (|V| = {})", g.num_vertices())));
     }
     let c = parcomm::baseline::seed_expand(&g, seed, max_size);
     println!("community of vertex {seed}: {} members, conductance {:.4}", c.members.len(), c.conductance);
@@ -308,9 +422,10 @@ fn cmd_seed(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_communities(args: &[String]) -> Result<(), String> {
+fn cmd_communities(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    let path = f.positional(0).ok_or("communities: missing graph file")?;
+    f.check_allowed("communities", &["--top"])?;
+    let path = f.positional(0).ok_or_else(|| usage("communities: missing graph file"))?;
     let top: usize = f.parse("--top", 20)?;
     let g = load(path)?;
     let r = detect(g.clone(), &Config::default());

@@ -35,10 +35,13 @@ pub use pcd_util as util;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use pcd_core::{detect, Config, ContractorKind, Criterion, MatcherKind, ScorerKind};
+    pub use pcd_core::{
+        detect, try_detect, Config, ContractorKind, Criterion, MatcherKind, Paranoia,
+        ScorerKind,
+    };
     pub use pcd_graph::{Graph, GraphBuilder};
     pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};
-    pub use pcd_util::{VertexId, Weight};
+    pub use pcd_util::{PcdError, VertexId, Weight};
 }
 
 pub use pcd_core::{detect, Config};

@@ -83,6 +83,122 @@ fn unknown_command_fails() {
 }
 
 #[test]
+fn help_prints_full_usage() {
+    for args in [&["--help"][..], &["-h"][..], &["help"][..], &["detect", "--help"][..]] {
+        let out = bin().args(args).output().unwrap();
+        assert!(out.status.success(), "{args:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: parcomm"), "{args:?}: {stdout}");
+        assert!(stdout.contains("--paranoia"), "{args:?}: {stdout}");
+        assert!(stdout.contains("--max-match-rounds"), "{args:?}: {stdout}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: parcomm"));
+}
+
+#[test]
+fn unknown_flag_rejected_with_allowed_list() {
+    let dir = tmpdir("unknown-flag");
+    let graph = dir.join("k.bin");
+    assert!(bin().args(["gen", "karate", "-o"]).arg(&graph).output().unwrap().status.success());
+    // A typo'd flag must fail loudly, not be silently ignored.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--converage", "0.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag '--converage'"), "{stderr}");
+    assert!(stderr.contains("--coverage"), "allowed list missing: {stderr}");
+    // Commands that take no flags reject any flag.
+    let out = bin().arg("stats").arg(&graph).args(["--fast"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"), "stats");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flag_missing_value_rejected() {
+    let dir = tmpdir("missing-value");
+    let graph = dir.join("k.bin");
+    assert!(bin().args(["gen", "karate", "-o"]).arg(&graph).output().unwrap().status.success());
+    let out = bin().arg("detect").arg(&graph).args(["--coverage"]).output().unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn detect_with_paranoia_and_watchdog_flags() {
+    let dir = tmpdir("paranoia");
+    let graph = dir.join("ring.bin");
+    assert!(bin()
+        .args(["gen", "clique-ring", "--cliques", "6", "--size", "5", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--paranoia", "full", "--max-match-rounds", "64"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Bad paranoia level is a structured config error.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--paranoia", "extreme"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown paranoia level"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An invalid knob combination fails Config::validate before running.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--coverage", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid configuration"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_binary_file_reports_structured_error() {
+    let dir = tmpdir("corrupt-bin");
+    let bad = dir.join("bad.bin");
+    // Valid magic, header claiming 1000 edges, no body.
+    let mut buf = b"PCDGRPH1".to_vec();
+    buf.extend_from_slice(&4u64.to_le_bytes());
+    buf.extend_from_slice(&1000u64.to_le_bytes());
+    std::fs::write(&bad, &buf).unwrap();
+    let out = bin().arg("detect").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt input"), "{stderr}");
+    assert!(stderr.contains("bad.bin"), "context path missing: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn detect_with_coverage_rule() {
     let dir = tmpdir("coverage");
     let graph = dir.join("rmat.bin");

@@ -1,0 +1,107 @@
+//! Guard-coverage tests: inject a fault into each phase and prove the
+//! matching paranoia guard converts it into a structured
+//! `InvariantViolation` — and that with paranoia off the same fault is
+//! *not* caught (i.e. the guards, not some other machinery, do the work).
+//!
+//! Compiled only under `--features fault-injection`.
+#![cfg(feature = "fault-injection")]
+
+use parcomm::core::FaultPlan;
+use parcomm::prelude::*;
+use parcomm::util::Phase;
+
+fn test_graph() -> Graph {
+    parcomm::gen::classic::clique_ring(6, 5)
+}
+
+fn faulted(fault: FaultPlan, paranoia: Paranoia) -> Result<(), (usize, Phase, String)> {
+    let mut cfg = Config::default().with_paranoia(paranoia);
+    cfg.fault = fault;
+    match try_detect(test_graph(), &cfg) {
+        Ok(_) => Ok(()),
+        Err(PcdError::InvariantViolation { level, phase, detail }) => {
+            Err((level, phase, detail))
+        }
+        Err(other) => panic!("expected an invariant violation, got: {other}"),
+    }
+}
+
+#[test]
+fn nan_score_caught_by_cheap_guard() {
+    let fault = FaultPlan { nan_score_at_level: Some(1), ..FaultPlan::default() };
+    let (level, phase, detail) = faulted(fault, Paranoia::Cheap)
+        .expect_err("NaN score must trip the finiteness guard");
+    assert_eq!(level, 1);
+    assert_eq!(phase, Phase::Score);
+    assert!(detail.contains("NaN"), "{detail}");
+}
+
+#[test]
+fn nan_score_at_deeper_level_reports_that_level() {
+    let fault = FaultPlan { nan_score_at_level: Some(2), ..FaultPlan::default() };
+    let (level, phase, _) = faulted(fault, Paranoia::Full)
+        .expect_err("NaN score at level 2 must trip the guard there");
+    assert_eq!(level, 2);
+    assert_eq!(phase, Phase::Score);
+}
+
+#[test]
+fn duplicate_match_caught_by_full_guard() {
+    let fault = FaultPlan { duplicate_match_at_level: Some(1), ..FaultPlan::default() };
+    let (level, phase, detail) = faulted(fault, Paranoia::Full)
+        .expect_err("a duplicated matched edge must fail matching verification");
+    assert_eq!(level, 1);
+    assert_eq!(phase, Phase::Match);
+    assert!(!detail.is_empty());
+}
+
+#[test]
+fn duplicate_match_also_caught_downstream_by_cheap_conservation() {
+    // Cheap paranoia skips verify_matching, but the duplicated edge's
+    // weight is folded into the contracted self-loops twice — the
+    // conservation ledger in the contract phase still notices.
+    let fault = FaultPlan { duplicate_match_at_level: Some(1), ..FaultPlan::default() };
+    let (level, phase, _) = faulted(fault, Paranoia::Cheap)
+        .expect_err("double-folded weight must break conservation");
+    assert_eq!(level, 1);
+    assert_eq!(phase, Phase::Contract);
+}
+
+#[test]
+fn dropped_weight_caught_by_cheap_guard() {
+    let fault = FaultPlan { drop_weight_at_level: Some(1), ..FaultPlan::default() };
+    let (level, phase, detail) = faulted(fault, Paranoia::Cheap)
+        .expect_err("a lost unit of edge weight must break conservation");
+    assert_eq!(level, 1);
+    assert_eq!(phase, Phase::Contract);
+    assert!(detail.contains("conserved") || detail.contains("internal"), "{detail}");
+}
+
+#[test]
+fn faults_sail_through_with_paranoia_off() {
+    // The guards — not the kernels or debug assertions — are what catches
+    // these faults: with paranoia off the corrupted run completes. (The
+    // NaN-score fault is excluded: un-guarded NaN poisons the matcher's
+    // maximality debug assertion, which is exactly why the Cheap guard
+    // exists.)
+    for fault in [
+        FaultPlan { duplicate_match_at_level: Some(1), ..FaultPlan::default() },
+        FaultPlan { drop_weight_at_level: Some(1), ..FaultPlan::default() },
+    ] {
+        let mut cfg = Config::default();
+        cfg.fault = fault.clone();
+        let r = try_detect(test_graph(), &cfg);
+        assert!(r.is_ok(), "paranoia off must not catch {fault:?}: {:?}", r.err());
+    }
+}
+
+#[test]
+fn unarmed_plan_is_inert() {
+    let plan = FaultPlan::default();
+    assert!(!plan.is_armed());
+    let mut cfg = Config::default().with_paranoia(Paranoia::Full);
+    cfg.fault = plan;
+    let clean = try_detect(test_graph(), &cfg).unwrap();
+    let reference = detect(test_graph(), &Config::default());
+    assert_eq!(clean.assignment, reference.assignment);
+}
