@@ -72,7 +72,13 @@ pub fn cnm(g: &Graph) -> Vec<VertexId> {
             if v < u {
                 let dq = delta_modularity(m, w, vol[v as usize], vol[u as usize]);
                 if dq > 0.0 {
-                    heap.push(Entry { dq, a: v, b: u, stamp_a: 0, stamp_b: 0 });
+                    heap.push(Entry {
+                        dq,
+                        a: v,
+                        b: u,
+                        stamp_a: 0,
+                        stamp_b: 0,
+                    });
                 }
             }
         }
@@ -123,8 +129,7 @@ pub fn cnm(g: &Graph) -> Vec<VertexId> {
         adj[big as usize].remove(&big);
 
         // Fresh queue entries for the merged community.
-        let entries: Vec<(u32, Weight)> =
-            adj[big as usize].iter().map(|(&n, &w)| (n, w)).collect();
+        let entries: Vec<(u32, Weight)> = adj[big as usize].iter().map(|(&n, &w)| (n, w)).collect();
         for (nbr, w) in entries {
             let dq = delta_modularity(m, w, vol[big as usize], vol[nbr as usize]);
             if dq > 0.0 {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Sequential community-detection baselines.
 //!
 //! The paper replaces the sequential priority-queue agglomeration of

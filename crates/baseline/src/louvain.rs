@@ -17,7 +17,9 @@ pub fn louvain(g: &Graph) -> Vec<VertexId> {
         let local = local_move(&current);
         let (compact, k) = pcd_metrics::compact_labels(&local);
         // Project onto original vertices.
-        assignment.iter_mut().for_each(|a| *a = compact[*a as usize]);
+        assignment
+            .iter_mut()
+            .for_each(|a| *a = compact[*a as usize]);
         if k == current.num_vertices() {
             break; // no merge happened anywhere
         }

@@ -8,10 +8,10 @@
 
 use crate::louvain::aggregate;
 use pcd_graph::{Csr, Graph};
+use pcd_util::sync::{AtomicI64, AtomicU32, AtomicUsize, RELAXED};
 use pcd_util::{VertexId, Weight};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicUsize, Ordering};
 
 /// Runs parallel Louvain to convergence over aggregation rounds.
 pub fn louvain_parallel(g: &Graph) -> Vec<VertexId> {
@@ -20,7 +20,9 @@ pub fn louvain_parallel(g: &Graph) -> Vec<VertexId> {
     for _ in 0..32 {
         let local = local_move_parallel(&current);
         let (compact, k) = pcd_metrics::compact_labels(&local);
-        assignment.par_iter_mut().for_each(|a| *a = compact[*a as usize]);
+        assignment
+            .par_iter_mut()
+            .for_each(|a| *a = compact[*a as usize]);
         if k == current.num_vertices() {
             break;
         }
@@ -52,14 +54,13 @@ fn local_move_parallel(g: &Graph) -> Vec<VertexId> {
             }
             let mut links: HashMap<u32, u64> = HashMap::new();
             for (u, w) in csr.neighbors(v as u32) {
-                *links.entry(comm[u as usize].load(Ordering::Relaxed)).or_insert(0) += w;
+                *links.entry(comm[u as usize].load(RELAXED)).or_insert(0) += w;
             }
-            let cur = comm[v].load(Ordering::Relaxed);
+            let cur = comm[v].load(RELAXED);
             let kv = vol_v[v] as f64;
             let score = |w_c: f64, vol: f64| w_c / mf - kv * vol / (2.0 * mf * mf);
             let w_cur = *links.get(&cur).unwrap_or(&0) as f64;
-            let cur_score =
-                score(w_cur, vol_c[cur as usize].load(Ordering::Relaxed) as f64 - kv);
+            let cur_score = score(w_cur, vol_c[cur as usize].load(RELAXED) as f64 - kv);
             let mut cands: Vec<u32> = links.keys().copied().collect();
             cands.sort_unstable();
             let mut best = cur;
@@ -68,10 +69,7 @@ fn local_move_parallel(g: &Graph) -> Vec<VertexId> {
                 if c == cur {
                     continue;
                 }
-                let s = score(
-                    links[&c] as f64,
-                    vol_c[c as usize].load(Ordering::Relaxed) as f64,
-                );
+                let s = score(links[&c] as f64, vol_c[c as usize].load(RELAXED) as f64);
                 if s > best_score {
                     best_score = s;
                     best = c;
@@ -80,13 +78,13 @@ fn local_move_parallel(g: &Graph) -> Vec<VertexId> {
             if best != cur {
                 // Racy but volume-conserving: the fetch_add/sub pair keeps
                 // Σ vol_c == 2m regardless of interleaving.
-                comm[v].store(best, Ordering::Relaxed);
-                vol_c[cur as usize].fetch_sub(vol_v[v] as i64, Ordering::Relaxed);
-                vol_c[best as usize].fetch_add(vol_v[v] as i64, Ordering::Relaxed);
-                moved.fetch_add(1, Ordering::Relaxed);
+                comm[v].store(best, RELAXED);
+                vol_c[cur as usize].fetch_sub(vol_v[v] as i64, RELAXED);
+                vol_c[best as usize].fetch_add(vol_v[v] as i64, RELAXED);
+                moved.fetch_add(1, RELAXED);
             }
         });
-        if moved.load(Ordering::Relaxed) == 0 {
+        if moved.load(RELAXED) == 0 {
             break;
         }
     }

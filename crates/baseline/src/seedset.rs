@@ -117,7 +117,12 @@ mod tests {
         let c = seed_expand(&g, 2, 16);
         let mut members = c.members.clone();
         members.sort_unstable();
-        assert_eq!(members, (0..8u32).collect::<Vec<_>>(), "phi = {}", c.conductance);
+        assert_eq!(
+            members,
+            (0..8u32).collect::<Vec<_>>(),
+            "phi = {}",
+            c.conductance
+        );
         assert!(c.conductance < 0.05);
     }
 
@@ -161,7 +166,11 @@ mod tests {
             .filter(|&&v| sbm.ground_truth[v as usize] == truth_c)
             .count();
         let precision = inside as f64 / comm.members.len() as f64;
-        assert!(precision > 0.8, "precision {precision} ({} members)", comm.members.len());
+        assert!(
+            precision > 0.8,
+            "precision {precision} ({} members)",
+            comm.members.len()
+        );
     }
 
     #[test]

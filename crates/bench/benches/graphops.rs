@@ -41,9 +41,7 @@ fn bench_spmat(c: &mut Criterion) {
     let g = rmat_graph(&RmatParams::paper(12, 42));
     let r = detect(g.clone(), &Config::default());
     group.bench_function("spgemm-contraction", |b| {
-        b.iter(|| {
-            pcd_spmat::contract_spgemm(&g, &r.assignment, r.num_communities)
-        });
+        b.iter(|| pcd_spmat::contract_spgemm(&g, &r.assignment, r.num_communities));
     });
     group.bench_function("adjacency-build", |b| {
         b.iter(|| pcd_spmat::contraction::adjacency_matrix(&g));

@@ -28,6 +28,8 @@
 //!   --threads a,b,c  explicit thread counts (default: powers of 2 + host max)
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use pcd_bench::suite::{default_suite, NamedGraph, SuiteParams};
 use pcd_bench::sweep::{run_sweep, speedups, sweep_threads, SweepPoint};
 use pcd_core::{detect, Config, ContractorKind, MatcherKind};
@@ -82,8 +84,11 @@ fn main() {
     println!("# Reproduction harness — Riedy/Meyerhenke/Bader IPDPSW 2012");
     println!(
         "# suite: rmat-{}-16, sbm-lj n={}, web-uk n={}; runs={}, threads={:?}\n",
-        opts.suite.rmat_scale, opts.suite.sbm_vertices, opts.suite.web_vertices,
-        opts.runs, opts.threads
+        opts.suite.rmat_scale,
+        opts.suite.sbm_vertices,
+        opts.suite.web_vertices,
+        opts.runs,
+        opts.threads
     );
 
     if wants("table1") {
@@ -91,9 +96,11 @@ fn main() {
     }
 
     // Experiments below need the suite.
-    let needs_suite = ["table2", "table3", "fig1", "fig2", "ablation", "phases", "quality"]
-        .iter()
-        .any(|e| wants(e));
+    let needs_suite = [
+        "table2", "table3", "fig1", "fig2", "ablation", "phases", "quality",
+    ]
+    .iter()
+    .any(|e| wants(e));
     let suite = if needs_suite {
         let t = Timer::start();
         let s = default_suite(&opts.suite);
@@ -155,19 +162,25 @@ fn table1(opts: &Options) {
                 .map(|l| l.split(':').nth(1).unwrap_or("?").trim().to_string())
         })
         .unwrap_or_else(|| "unknown".into());
-    let logical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("{:<40} {:>8} {:>16}", "Processor", "# logical", "sweep threads");
-    println!("{:<40} {:>8} {:>16?}", model, logical, opts.threads);
+    let logical = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
-        "(paper: Cray XMT 128p, XMT2 64p, Xeon E7-8870 4x10c, X5650 2x6c, X5570 2x4c)\n"
+        "{:<40} {:>8} {:>16}",
+        "Processor", "# logical", "sweep threads"
     );
+    println!("{:<40} {:>8} {:>16?}", model, logical, opts.threads);
+    println!("(paper: Cray XMT 128p, XMT2 64p, Xeon E7-8870 4x10c, X5650 2x6c, X5570 2x4c)\n");
 }
 
 // ----- Table II: graph sizes ---------------------------------------------
 
 fn table2(suite: &[NamedGraph]) {
     println!("## Table II — sizes of graphs used for performance evaluation");
-    println!("{:<12} {:>12} {:>14} {:>14}", "graph", "|V|", "|E|", "weight");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "graph", "|V|", "|E|", "weight"
+    );
     for g in suite {
         println!(
             "{:<12} {:>12} {:>14} {:>14}",
@@ -203,7 +216,10 @@ fn fig1(data: &ScalingData) {
     println!("## Figure 1 — execution time vs threads (coverage >= 0.5 rule)");
     for (g, pts) in &data.per_graph {
         println!("graph {}:", g.name);
-        println!("  {:>7} {:>10} {:>10} {:>10}", "threads", "min", "median", "max");
+        println!(
+            "  {:>7} {:>10} {:>10} {:>10}",
+            "threads", "min", "median", "max"
+        );
         for p in pts {
             println!(
                 "  {:>7} {:>10} {:>10} {:>10}",
@@ -274,7 +290,10 @@ fn fig3(opts: &Options) {
         &opts.threads,
         opts.runs,
     );
-    println!("  {:>7} {:>10} {:>9} {:>14}", "threads", "time(min)", "speed-up", "edges/s");
+    println!(
+        "  {:>7} {:>10} {:>9} {:>14}",
+        "threads", "time(min)", "speed-up", "edges/s"
+    );
     let base = pts[0].secs.min();
     for p in &pts {
         println!(
@@ -302,7 +321,11 @@ fn graphs_experiment(opts: &Options) {
     let t = Timer::start();
     let largest = pcd_graph::subgraph::largest_component(&g);
     let cc_secs = t.elapsed_secs();
-    println!("  generate {} edges:        {}", p.num_generated_edges(), fmt_secs(gen_secs));
+    println!(
+        "  generate {} edges:        {}",
+        p.num_generated_edges(),
+        fmt_secs(gen_secs)
+    );
     println!(
         "  dedup/build ({} uniq):   {}",
         g.num_edges(),
@@ -326,14 +349,33 @@ fn ablation(suite: &[NamedGraph], opts: &Options) {
     println!("   contraction: bucket-sort (prefix-sum / fetch-add) vs linked-list chains");
     let max_threads = *opts.threads.iter().max().unwrap_or(&1);
     let combos: [(&str, MatcherKind, ContractorKind); 4] = [
-        ("new-match + bucket(prefix)", MatcherKind::UnmatchedList, ContractorKind::Bucket),
-        ("new-match + bucket(f&a)", MatcherKind::UnmatchedList, ContractorKind::BucketFetchAdd),
-        ("new-match + linked-list", MatcherKind::UnmatchedList, ContractorKind::Linked),
-        ("old-match + linked-list", MatcherKind::EdgeSweep, ContractorKind::Linked),
+        (
+            "new-match + bucket(prefix)",
+            MatcherKind::UnmatchedList,
+            ContractorKind::Bucket,
+        ),
+        (
+            "new-match + bucket(f&a)",
+            MatcherKind::UnmatchedList,
+            ContractorKind::BucketFetchAdd,
+        ),
+        (
+            "new-match + linked-list",
+            MatcherKind::UnmatchedList,
+            ContractorKind::Linked,
+        ),
+        (
+            "old-match + linked-list",
+            MatcherKind::EdgeSweep,
+            ContractorKind::Linked,
+        ),
     ];
     for g in suite {
         println!("graph {}:", g.name);
-        println!("  {:<28} {:>10} {:>10} {:>9}", "kernels", "min", "median", "vs new");
+        println!(
+            "  {:<28} {:>10} {:>10} {:>9}",
+            "kernels", "min", "median", "vs new"
+        );
         let mut base = None;
         for (label, matcher, contractor) in combos {
             let cfg = Config::paper_performance()
@@ -368,7 +410,10 @@ fn phases(suite: &[NamedGraph]) {
             100.0 * m / (s + m + c),
             100.0 * c / (s + m + c)
         );
-        println!("  {:>5} {:>10} {:>11} {:>9} {:>9} {:>9}", "level", "|V|", "|E|", "score", "match", "contract");
+        println!(
+            "  {:>5} {:>10} {:>11} {:>9} {:>9} {:>9}",
+            "level", "|V|", "|E|", "score", "match", "contract"
+        );
         for l in &r.levels {
             println!(
                 "  {:>5} {:>10} {:>11} {:>9} {:>9} {:>9}",
@@ -388,19 +433,19 @@ fn phases(suite: &[NamedGraph]) {
 
 fn mixing(opts: &Options) {
     println!("## LFR mixing sweep — NMI vs planted communities as noise grows");
-    println!("{:>5} {:>16} {:>16} {:>16}", "mu", "parallel-agglom", "+refine", "louvain");
+    println!(
+        "{:>5} {:>16} {:>16} {:>16}",
+        "mu", "parallel-agglom", "+refine", "louvain"
+    );
     let n = opts.suite.sbm_vertices.min(30_000);
     for mu10 in [1u32, 2, 3, 4, 5, 6] {
         let mu = mu10 as f64 / 10.0;
         let lfr = pcd_gen::lfr_graph(&pcd_gen::LfrParams::benchmark(n, mu, opts.suite.seed));
         let r = detect(lfr.graph.clone(), &Config::default());
-        let nmi_a =
-            pcd_metrics::normalized_mutual_information(&r.assignment, &lfr.ground_truth);
+        let nmi_a = pcd_metrics::normalized_mutual_information(&r.assignment, &lfr.ground_truth);
         let refined = pcd_core::refine::refine(&lfr.graph, &r.assignment, 8);
-        let nmi_r = pcd_metrics::normalized_mutual_information(
-            &refined.assignment,
-            &lfr.ground_truth,
-        );
+        let nmi_r =
+            pcd_metrics::normalized_mutual_information(&refined.assignment, &lfr.ground_truth);
         let l = pcd_baseline::louvain(&lfr.graph);
         let nmi_l = pcd_metrics::normalized_mutual_information(&l, &lfr.ground_truth);
         println!("{mu:>5.1} {nmi_a:>16.3} {nmi_r:>16.3} {nmi_l:>16.3}");
@@ -412,7 +457,10 @@ fn mixing(opts: &Options) {
 
 fn reorder(opts: &Options) {
     println!("## Vertex-ordering sensitivity — detection time under renumbering");
-    let web = web_graph(&WebParams::uk_like(opts.suite.web_vertices, opts.suite.seed + 2));
+    let web = web_graph(&WebParams::uk_like(
+        opts.suite.web_vertices,
+        opts.suite.seed + 2,
+    ));
     let g = web.graph;
     let orderings: Vec<(&str, pcd_graph::Graph)> = vec![
         ("natural", g.clone()),
@@ -420,7 +468,10 @@ fn reorder(opts: &Options) {
             "degree-desc",
             pcd_graph::reorder::apply(&g, &pcd_graph::reorder::degree_descending(&g)),
         ),
-        ("bfs", pcd_graph::reorder::apply(&g, &pcd_graph::reorder::bfs_order(&g))),
+        (
+            "bfs",
+            pcd_graph::reorder::apply(&g, &pcd_graph::reorder::bfs_order(&g)),
+        ),
     ];
     println!("  {:<12} {:>10} {:>10}", "ordering", "min", "median");
     for (name, graph) in orderings {
@@ -465,7 +516,12 @@ fn quality(suite: &[NamedGraph]) {
                 .unwrap_or_else(|| "-".into());
             println!(
                 "  {:<18} {:>8.4} {:>8.3} {:>9} {:>8} {:>9}",
-                label, q, cov, k, nmi, fmt_secs(secs)
+                label,
+                q,
+                cov,
+                k,
+                nmi,
+                fmt_secs(secs)
             );
         };
 

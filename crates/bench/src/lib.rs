@@ -2,6 +2,8 @@
 //! figures. The `repro` binary drives everything; criterion benches reuse
 //! the suite builders.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod suite;
 pub mod sweep;
 

@@ -25,12 +25,7 @@ impl SweepPoint {
 }
 
 /// Runs `detect` `runs` times per thread count.
-pub fn run_sweep(
-    g: &Graph,
-    config: &Config,
-    threads: &[usize],
-    runs: usize,
-) -> Vec<SweepPoint> {
+pub fn run_sweep(g: &Graph, config: &Config, threads: &[usize], runs: usize) -> Vec<SweepPoint> {
     threads
         .iter()
         .map(|&t| {

@@ -16,11 +16,10 @@
 use crate::{contracted_self_loops, relabel_from_matching, Contraction};
 use pcd_graph::{canonical_order, Graph};
 use pcd_matching::Matching;
-use pcd_util::atomics::{as_atomic_u32, as_atomic_u64};
 use pcd_util::scan::offsets_from_counts;
+use pcd_util::sync::{as_atomic_u32, as_atomic_u64, AtomicUsize, RELAXED};
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bucket placement policy in the scatter phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,13 +74,13 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
                 // Internal to a merged pair. The matched edge itself was
                 // already folded; any other coinciding edge folds here.
                 if !matched[e] {
-                    self_c[ni as usize].fetch_add(w, Ordering::Relaxed);
+                    self_c[ni as usize].fetch_add(w, RELAXED);
                 }
-                src_c[e].store(pcd_util::NO_VERTEX, Ordering::Relaxed);
+                src_c[e].store(pcd_util::NO_VERTEX, RELAXED);
             } else {
                 let (a, b) = canonical_order(ni, nj);
-                src_c[e].store(a, Ordering::Relaxed);
-                dst_c[e].store(b, Ordering::Relaxed);
+                src_c[e].store(a, RELAXED);
+                dst_c[e].store(b, RELAXED);
             }
         });
     }
@@ -91,7 +90,7 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
     (0..ne).into_par_iter().for_each(|e| {
         let s = new_src[e];
         if s != pcd_util::NO_VERTEX {
-            counts[s as usize].fetch_add(1, Ordering::Relaxed);
+            counts[s as usize].fetch_add(1, RELAXED);
         }
     });
     let counts: Vec<usize> = counts.into_iter().map(|c| c.into_inner()).collect();
@@ -111,10 +110,10 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
                 (0..num_new).map(|_| AtomicUsize::new(usize::MAX)).collect();
             (0..num_new).into_par_iter().for_each(|v| {
                 if counts[v] > 0 {
-                    let at = cursor.fetch_add(counts[v], Ordering::Relaxed);
-                    off[v].store(at, Ordering::Relaxed);
+                    let at = cursor.fetch_add(counts[v], RELAXED);
+                    off[v].store(at, RELAXED);
                 } else {
-                    off[v].store(0, Ordering::Relaxed);
+                    off[v].store(0, RELAXED);
                 }
             });
             off.into_iter().map(|o| o.into_inner()).collect()
@@ -131,9 +130,9 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
         (0..ne).into_par_iter().for_each(|e| {
             let s = new_src[e];
             if s != pcd_util::NO_VERTEX {
-                let pos = cursor[s as usize].fetch_add(1, Ordering::Relaxed);
-                dst_c[pos].store(new_dst[e], Ordering::Relaxed);
-                w_c[pos].store(g.weights()[e], Ordering::Relaxed);
+                let pos = cursor[s as usize].fetch_add(1, RELAXED);
+                dst_c[pos].store(new_dst[e], RELAXED);
+                w_c[pos].store(g.weights()[e], RELAXED);
             }
         });
     }
@@ -151,6 +150,11 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
                     return 0;
                 }
                 let (dst_ptr, w_ptr) = (&dst_ptr, &w_ptr);
+                // SAFETY: `bucket_off` is the exclusive prefix sum of
+                // `counts`, so each vertex's range `[b, b + len)` is
+                // disjoint from every other task's and in-bounds for the
+                // bucket arrays; the arrays are exclusively borrowed for
+                // the duration of the parallel region.
                 unsafe {
                     let d = std::slice::from_raw_parts_mut(dst_ptr.0.add(b), len);
                     let w = std::slice::from_raw_parts_mut(w_ptr.0.add(b), len);
@@ -175,17 +179,29 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
             let from = bucket_off[v];
             let to = final_off[v];
             for k in 0..uniq[v] {
-                src_c[to + k].store(v as u32, Ordering::Relaxed);
-                dst_c[to + k].store(tmp_dst[from + k], Ordering::Relaxed);
-                w_c[to + k].store(tmp_w[from + k], Ordering::Relaxed);
+                src_c[to + k].store(v as u32, RELAXED);
+                dst_c[to + k].store(tmp_dst[from + k], RELAXED);
+                w_c[to + k].store(tmp_w[from + k], RELAXED);
             }
         });
     }
     let bucket_begin = final_off[..num_new].to_vec();
     let bucket_end: Vec<usize> = (0..num_new).map(|v| final_off[v] + uniq[v]).collect();
 
-    let graph = Graph::from_parts(num_new, src, dst, weight, bucket_begin, bucket_end, self_loop);
-    Contraction { graph, new_of_old, num_new }
+    let graph = Graph::from_parts(
+        num_new,
+        src,
+        dst,
+        weight,
+        bucket_begin,
+        bucket_end,
+        self_loop,
+    );
+    Contraction {
+        graph,
+        new_of_old,
+        num_new,
+    }
 }
 
 /// Sorts a bucket by destination and accumulates duplicate destinations in
@@ -219,7 +235,11 @@ fn sort_accumulate(dst: &mut [u32], w: &mut [u64]) -> usize {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: shared only inside the bucket-accumulation region, where each
+// task dereferences a disjoint bucket range; accesses never alias.
 unsafe impl<T> Sync for SendPtr<T> {}
+// SAFETY: moving the pointer across threads is fine; every dereference is
+// covered by the disjoint-bucket argument above.
 unsafe impl<T> Send for SendPtr<T> {}
 
 #[cfg(test)]

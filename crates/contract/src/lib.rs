@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Community-graph contraction (§IV-C) — the phase the paper says takes
 //! "from 40% to 80% of the execution time".
 //!
@@ -29,10 +30,9 @@ pub use bucket::{contract, contract_with_policy, Placement};
 
 use pcd_graph::Graph;
 use pcd_matching::Matching;
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::{VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Result of contracting a community graph along a matching.
 #[derive(Debug, Clone)]
@@ -90,12 +90,12 @@ pub fn contracted_self_loops(
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {
-                cells[new_of_old[v] as usize].fetch_add(s, Ordering::Relaxed);
+                cells[new_of_old[v] as usize].fetch_add(s, RELAXED);
             }
         });
         m.matched_edges().par_iter().for_each(|&e| {
             let (i, _, w) = g.edge(e);
-            cells[new_of_old[i as usize] as usize].fetch_add(w, Ordering::Relaxed);
+            cells[new_of_old[i as usize] as usize].fetch_add(w, RELAXED);
         });
     }
     self_loop
@@ -161,8 +161,12 @@ mod tests {
 
     #[test]
     fn fingerprint_is_layout_independent() {
-        let a = pcd_graph::GraphBuilder::new(4).add_pairs([(0, 1), (2, 3)]).build();
-        let b = pcd_graph::GraphBuilder::new(4).add_pairs([(2, 3), (0, 1)]).build();
+        let a = pcd_graph::GraphBuilder::new(4)
+            .add_pairs([(0, 1), (2, 3)])
+            .build();
+        let b = pcd_graph::GraphBuilder::new(4)
+            .add_pairs([(2, 3), (0, 1)])
+            .build();
         assert_eq!(edge_fingerprint(&a), edge_fingerprint(&b));
     }
 }

@@ -16,11 +16,10 @@ use crate::{contracted_self_loops, relabel_from_matching, Contraction};
 use parking_lot::Mutex;
 use pcd_graph::{canonical_order, Graph};
 use pcd_matching::Matching;
-use pcd_util::atomics::as_atomic_u64;
 use pcd_util::rng::mix64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::{VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Contracts `g` along `m` using mutex-guarded hash chains.
 pub fn contract_linked(g: &Graph, m: &Matching) -> Contraction {
@@ -48,7 +47,7 @@ pub fn contract_linked(g: &Graph, m: &Matching) -> Contraction {
             let (ni, nj) = (new_of_old[i as usize], new_of_old[j as usize]);
             if ni == nj {
                 if !matched[e] {
-                    self_c[ni as usize].fetch_add(w, Ordering::Relaxed);
+                    self_c[ni as usize].fetch_add(w, RELAXED);
                 }
                 return;
             }
@@ -77,10 +76,10 @@ pub fn contract_linked(g: &Graph, m: &Matching) -> Contraction {
     // Assemble buckets: edges are unique already; group by src.
     let srcs: Vec<VertexId> = edges.iter().map(|e| e.0).collect();
     let counts = {
-        use std::sync::atomic::AtomicUsize;
+        use pcd_util::sync::AtomicUsize;
         let c: Vec<AtomicUsize> = (0..num_new).map(|_| AtomicUsize::new(0)).collect();
         srcs.par_iter().for_each(|&s| {
-            c[s as usize].fetch_add(1, Ordering::Relaxed);
+            c[s as usize].fetch_add(1, RELAXED);
         });
         c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()
     };
@@ -100,7 +99,11 @@ pub fn contract_linked(g: &Graph, m: &Matching) -> Contraction {
         off[1..=num_new].to_vec(),
         self_loop,
     );
-    Contraction { graph, new_of_old, num_new }
+    Contraction {
+        graph,
+        new_of_old,
+        num_new,
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Sequential hash-map contraction — the differential-test oracle.
 
-use crate::{Contraction, relabel_from_matching};
+use crate::{relabel_from_matching, Contraction};
 use pcd_graph::{builder, Graph};
 use pcd_matching::Matching;
 use pcd_util::{VertexId, Weight};

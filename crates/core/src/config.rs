@@ -82,7 +82,11 @@ impl std::str::FromStr for Paranoia {
 /// log₂ nv on social networks; the slack keeps the watchdog out of the way
 /// on anything but a genuinely wedged matcher.
 pub fn default_match_round_cap(nv: usize) -> usize {
-    let ceil_log2 = if nv <= 1 { 0 } else { (nv - 1).ilog2() as usize + 1 };
+    let ceil_log2 = if nv <= 1 {
+        0
+    } else {
+        (nv - 1).ilog2() as usize + 1
+    };
     4 * ceil_log2 + 64
 }
 
@@ -228,9 +232,7 @@ impl Config {
                 }
                 Criterion::MaxLevels(n) => {
                     if n == 0 {
-                        return Err(PcdError::config(
-                            "max-levels criterion must be at least 1",
-                        ));
+                        return Err(PcdError::config("max-levels criterion must be at least 1"));
                     }
                 }
                 Criterion::MinCommunities(n) => {
@@ -313,9 +315,18 @@ mod tests {
             .with_criterion(Criterion::MaxCommunitySize(0))
             .validate()
             .is_err());
-        assert!(Config::default().with_max_community_size(0).validate().is_err());
-        assert!(Config::default().with_max_match_rounds(0).validate().is_err());
-        assert!(Config::default().with_max_match_rounds(1).validate().is_ok());
+        assert!(Config::default()
+            .with_max_community_size(0)
+            .validate()
+            .is_err());
+        assert!(Config::default()
+            .with_max_match_rounds(0)
+            .validate()
+            .is_err());
+        assert!(Config::default()
+            .with_max_match_rounds(1)
+            .validate()
+            .is_ok());
     }
 
     #[test]

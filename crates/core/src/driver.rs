@@ -8,11 +8,10 @@ use crate::termination::{any_stops, LevelState};
 use pcd_contract::{bucket, linked, seq as contract_seq, Contraction, Placement};
 use pcd_graph::Graph;
 use pcd_matching::{edge_sweep, parallel, seq as match_seq, Matching};
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::timing::Timer;
 use pcd_util::{PcdError, Phase, VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Runs agglomerative community detection over `graph` under `config`.
 ///
@@ -23,8 +22,7 @@ use std::sync::atomic::Ordering;
 /// Panics on an invalid configuration or a paranoia-guard trip; callers
 /// that need structured errors use [`try_detect`].
 pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
-    try_detect(graph, config)
-        .unwrap_or_else(|e| panic!("community detection failed: {e}"))
+    try_detect(graph, config).unwrap_or_else(|e| panic!("community detection failed: {e}"))
 }
 
 /// Fallible [`detect`]: validates the configuration up front and, when
@@ -96,7 +94,11 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
         let contract_secs = t.elapsed_secs();
 
         // Fold the level into the hierarchy state.
-        let Contraction { graph: next, new_of_old, num_new } = contraction;
+        let Contraction {
+            graph: next,
+            new_of_old,
+            num_new,
+        } = contraction;
         assignment.par_iter_mut().for_each(|a| {
             *a = new_of_old[*a as usize];
         });
@@ -104,7 +106,7 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
         {
             let cells = as_atomic_u64(&mut new_counts);
             counts.par_iter().enumerate().for_each(|(old, &c)| {
-                cells[new_of_old[old] as usize].fetch_add(c, Ordering::Relaxed);
+                cells[new_of_old[old] as usize].fetch_add(c, RELAXED);
             });
         }
         counts = new_counts;
@@ -267,9 +269,7 @@ fn guard_contraction(
 fn run_contractor(kind: ContractorKind, g: &Graph, m: &Matching) -> Contraction {
     match kind {
         ContractorKind::Bucket => bucket::contract_with_policy(g, m, Placement::PrefixSum),
-        ContractorKind::BucketFetchAdd => {
-            bucket::contract_with_policy(g, m, Placement::FetchAdd)
-        }
+        ContractorKind::BucketFetchAdd => bucket::contract_with_policy(g, m, Placement::FetchAdd),
         ContractorKind::Linked => linked::contract_linked(g, m),
         ContractorKind::Sequential => contract_seq::contract_seq(g, m),
     }
@@ -347,7 +347,10 @@ mod tests {
     #[test]
     fn max_levels_criterion() {
         let g = pcd_gen::classic::clique_ring(16, 4);
-        let r = detect(g, &Config::default().with_criterion(Criterion::MaxLevels(1)));
+        let r = detect(
+            g,
+            &Config::default().with_criterion(Criterion::MaxLevels(1)),
+        );
         assert_eq!(r.levels.len(), 1);
         assert_eq!(r.stop_reason, StopReason::Criterion);
     }
@@ -356,8 +359,11 @@ mod tests {
     fn max_community_size_masks_merges() {
         let g = pcd_gen::classic::clique(16);
         let r = detect(g, &Config::default().with_max_community_size(4));
-        assert!(r.community_vertex_counts.iter().all(|&c| c <= 4),
-            "counts = {:?}", r.community_vertex_counts);
+        assert!(
+            r.community_vertex_counts.iter().all(|&c| c <= 4),
+            "counts = {:?}",
+            r.community_vertex_counts
+        );
         assert_eq!(r.stop_reason, StopReason::LocalMaximum);
     }
 
@@ -388,10 +394,11 @@ mod tests {
                 ContractorKind::Linked,
                 ContractorKind::Sequential,
             ] {
-                let cfg = Config::default().with_matcher(matcher).with_contractor(contractor);
+                let cfg = Config::default()
+                    .with_matcher(matcher)
+                    .with_contractor(contractor);
                 let r = detect(g.clone(), &cfg);
-                let nmi =
-                    pcd_metrics::normalized_mutual_information(&r.assignment, &truth);
+                let nmi = pcd_metrics::normalized_mutual_information(&r.assignment, &truth);
                 assert!(
                     nmi > 0.7,
                     "matcher {matcher:?} contractor {contractor:?}: nmi {nmi}"

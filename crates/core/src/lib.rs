@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Parallel agglomerative community detection — the paper's contribution.
 //!
 //! Starting from the singleton partition, the driver repeats the three
@@ -29,7 +30,9 @@ pub mod result;
 pub mod scorer;
 pub mod termination;
 
-pub use config::{default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia, ScorerKind};
+pub use config::{
+    default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia, ScorerKind,
+};
 pub use driver::{detect, try_detect};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;

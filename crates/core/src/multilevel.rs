@@ -91,11 +91,19 @@ pub fn refine_multilevel(
     }
 
     let (dense, num_communities) = pcd_metrics::compact_labels(&part_at_level);
-    MultilevelOutcome { assignment: dense, num_communities, q_trajectory }
+    MultilevelOutcome {
+        assignment: dense,
+        num_communities,
+        q_trajectory,
+    }
 }
 
 fn level_count(assignment: &[VertexId]) -> usize {
-    assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1)
+    assignment
+        .par_iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1)
 }
 
 #[cfg(test)]

@@ -72,9 +72,7 @@ pub fn refine(g: &Graph, assignment: &[VertexId], max_sweeps: usize) -> Refineme
         // Phase 1: parallel proposals against the frozen partition.
         let candidates: Vec<(u32, u32)> = (0..nv as u32)
             .into_par_iter()
-            .filter_map(|v| {
-                best_move(&csr, &frozen, &frozen_vol, &vol_v, mf, v).map(|c| (v, c))
-            })
+            .filter_map(|v| best_move(&csr, &frozen, &frozen_vol, &vol_v, mf, v).map(|c| (v, c)))
             .collect();
 
         // Phase 2: deterministic sequential apply with revalidation.
@@ -95,7 +93,12 @@ pub fn refine(g: &Graph, assignment: &[VertexId], max_sweeps: usize) -> Refineme
     }
 
     let q_after = pcd_metrics::modularity(g, &assignment);
-    Refinement { assignment, moves_per_sweep, q_before, q_after }
+    Refinement {
+        assignment,
+        moves_per_sweep,
+        q_before,
+        q_after,
+    }
 }
 
 /// The best strictly-improving move for `v`, if any: the community (among

@@ -23,7 +23,10 @@ pub struct ScoreContext {
 impl ScoreContext {
     /// Precomputes volumes and the total weight of `g`.
     pub fn new(g: &Graph) -> Self {
-        ScoreContext { vol: g.volumes(), m: g.total_weight() }
+        ScoreContext {
+            vol: g.volumes(),
+            m: g.total_weight(),
+        }
     }
 }
 
@@ -55,12 +58,7 @@ pub fn score_all(kind: ScorerKind, g: &Graph, ctx: &ScoreContext) -> Vec<f64> {
 /// Masks (sets to `-1.0`) the score of any edge whose merge would create a
 /// community with more than `max_size` original vertices — the paper's
 /// "maximum community size" external constraint.
-pub fn mask_oversized(
-    g: &Graph,
-    scores: &mut [f64],
-    counts: &[u64],
-    max_size: usize,
-) {
+pub fn mask_oversized(g: &Graph, scores: &mut [f64], counts: &[u64], max_size: usize) {
     scores.par_iter_mut().enumerate().for_each(|(e, s)| {
         let (i, j, _) = g.edge(e);
         if counts[i as usize] + counts[j as usize] > max_size as u64 {
@@ -86,8 +84,7 @@ mod tests {
         let scores = score_all(ScorerKind::Modularity, &g, &ctx);
         for e in 0..g.num_edges() {
             let (i, j, w) = g.edge(e);
-            let expect =
-                delta_modularity(ctx.m, w, ctx.vol[i as usize], ctx.vol[j as usize]);
+            let expect = delta_modularity(ctx.m, w, ctx.vol[i as usize], ctx.vol[j as usize]);
             assert_eq!(scores[e], expect);
         }
     }
@@ -120,7 +117,10 @@ mod tests {
 
     #[test]
     fn heavy_edge_scores_are_weights() {
-        let g = GraphBuilder::new(3).add_edge(0, 1, 7).add_edge(1, 2, 2).build();
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1, 7)
+            .add_edge(1, 2, 2)
+            .build();
         let ctx = ScoreContext::new(&g);
         let s = score_all(ScorerKind::HeavyEdge, &g, &ctx);
         let mut ws: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();

@@ -57,7 +57,12 @@ mod tests {
     use super::*;
 
     fn state() -> LevelState {
-        LevelState { level: 3, num_communities: 100, coverage: 0.42, largest_community: 17 }
+        LevelState {
+            level: 3,
+            num_communities: 100,
+            coverage: 0.42,
+            largest_community: 17,
+        }
     }
 
     #[test]

@@ -7,17 +7,84 @@ use pcd_util::VertexId;
 /// detection benchmark. The known fission splits it into two factions.
 pub fn karate_club() -> Graph {
     const EDGES: [(u32, u32); 78] = [
-        (1, 0), (2, 0), (2, 1), (3, 0), (3, 1), (3, 2), (4, 0), (5, 0),
-        (6, 0), (6, 4), (6, 5), (7, 0), (7, 1), (7, 2), (7, 3), (8, 0),
-        (8, 2), (9, 2), (10, 0), (10, 4), (10, 5), (11, 0), (12, 0),
-        (12, 3), (13, 0), (13, 1), (13, 2), (13, 3), (16, 5), (16, 6),
-        (17, 0), (17, 1), (19, 0), (19, 1), (21, 0), (21, 1), (25, 23),
-        (25, 24), (27, 2), (27, 23), (27, 24), (28, 2), (29, 23), (29, 26),
-        (30, 1), (30, 8), (31, 0), (31, 24), (31, 25), (31, 28), (32, 2),
-        (32, 8), (32, 14), (32, 15), (32, 18), (32, 20), (32, 22), (32, 23),
-        (32, 29), (32, 30), (32, 31), (33, 8), (33, 9), (33, 13), (33, 14),
-        (33, 15), (33, 18), (33, 19), (33, 20), (33, 22), (33, 23), (33, 26),
-        (33, 27), (33, 28), (33, 29), (33, 30), (33, 31), (33, 32),
+        (1, 0),
+        (2, 0),
+        (2, 1),
+        (3, 0),
+        (3, 1),
+        (3, 2),
+        (4, 0),
+        (5, 0),
+        (6, 0),
+        (6, 4),
+        (6, 5),
+        (7, 0),
+        (7, 1),
+        (7, 2),
+        (7, 3),
+        (8, 0),
+        (8, 2),
+        (9, 2),
+        (10, 0),
+        (10, 4),
+        (10, 5),
+        (11, 0),
+        (12, 0),
+        (12, 3),
+        (13, 0),
+        (13, 1),
+        (13, 2),
+        (13, 3),
+        (16, 5),
+        (16, 6),
+        (17, 0),
+        (17, 1),
+        (19, 0),
+        (19, 1),
+        (21, 0),
+        (21, 1),
+        (25, 23),
+        (25, 24),
+        (27, 2),
+        (27, 23),
+        (27, 24),
+        (28, 2),
+        (29, 23),
+        (29, 26),
+        (30, 1),
+        (30, 8),
+        (31, 0),
+        (31, 24),
+        (31, 25),
+        (31, 28),
+        (32, 2),
+        (32, 8),
+        (32, 14),
+        (32, 15),
+        (32, 18),
+        (32, 20),
+        (32, 22),
+        (32, 23),
+        (32, 29),
+        (32, 30),
+        (32, 31),
+        (33, 8),
+        (33, 9),
+        (33, 13),
+        (33, 14),
+        (33, 15),
+        (33, 18),
+        (33, 19),
+        (33, 20),
+        (33, 22),
+        (33, 23),
+        (33, 26),
+        (33, 27),
+        (33, 28),
+        (33, 29),
+        (33, 30),
+        (33, 31),
+        (33, 32),
     ];
     GraphBuilder::new(34).add_pairs(EDGES).build()
 }
@@ -26,8 +93,8 @@ pub fn karate_club() -> Graph {
 pub fn karate_factions() -> Vec<VertexId> {
     // Faction of each member, 0-indexed; the standard assignment.
     vec![
-        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1,
-        1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1,
+        1, 1, 1, 1,
     ]
 }
 

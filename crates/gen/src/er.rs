@@ -63,6 +63,11 @@ mod tests {
         let g = erdos_renyi(2_000, 20_000, 5);
         let csr = pcd_graph::Csr::from_graph(&g);
         let s = pcd_graph::stats::degree_stats(&csr);
-        assert!((s.max as f64) < 4.0 * s.mean, "max {} mean {}", s.max, s.mean);
+        assert!(
+            (s.max as f64) < 4.0 * s.mean,
+            "max {} mean {}",
+            s.max,
+            s.mean
+        );
     }
 }

@@ -75,8 +75,13 @@ pub fn lfr_graph(p: &LfrParams) -> LfrGraph {
     let mut sizes = Vec::new();
     let mut covered = 0usize;
     while covered < p.num_vertices {
-        let s = pareto_int(&mut rng, p.min_community, p.max_community, p.community_exponent)
-            .min(p.num_vertices - covered);
+        let s = pareto_int(
+            &mut rng,
+            p.min_community,
+            p.max_community,
+            p.community_exponent,
+        )
+        .min(p.num_vertices - covered);
         sizes.push(s);
         covered += s;
     }
@@ -88,7 +93,9 @@ pub fn lfr_graph(p: &LfrParams) -> LfrGraph {
     }
     let mut ground_truth = vec![0u32; p.num_vertices];
     for (c, (&st, &sz)) in start.iter().zip(sizes.iter()).enumerate() {
-        ground_truth[st..st + sz].iter_mut().for_each(|g| *g = c as u32);
+        ground_truth[st..st + sz]
+            .iter_mut()
+            .for_each(|g| *g = c as u32);
     }
 
     // Per-vertex degree draws and partner selection.

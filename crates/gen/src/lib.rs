@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Graph generators for the paper's evaluation (§V-B) and for tests.
 //!
 //! * [`rmat`] — the R-MAT generator with the paper's parameters
@@ -19,13 +20,13 @@ pub mod classic;
 pub mod er;
 pub mod lfr;
 pub mod rmat;
-pub mod smallworld;
 pub mod sbm;
+pub mod smallworld;
 pub mod web;
 
 pub use er::erdos_renyi;
 pub use lfr::{lfr_graph, LfrGraph, LfrParams};
 pub use rmat::{rmat_edges, rmat_graph, RmatParams};
-pub use smallworld::watts_strogatz;
 pub use sbm::{sbm_graph, SbmParams};
+pub use smallworld::watts_strogatz;
 pub use web::{web_graph, WebParams};

@@ -130,7 +130,9 @@ mod tests {
         let p = small();
         let e = rmat_edges(&p);
         assert_eq!(e.len(), 1024 * 16);
-        assert!(e.iter().all(|&(i, j, _)| (i as usize) < 1024 && (j as usize) < 1024));
+        assert!(e
+            .iter()
+            .all(|&(i, j, _)| (i as usize) < 1024 && (j as usize) < 1024));
     }
 
     #[test]
@@ -171,7 +173,11 @@ mod tests {
             .flat_map(|&(i, j, _)| [i, j])
             .filter(|&v| v < half)
             .count();
-        assert!(low as f64 > 0.6 * (2 * e.len()) as f64, "low fraction {}", low);
+        assert!(
+            low as f64 > 0.6 * (2 * e.len()) as f64,
+            "low fraction {}",
+            low
+        );
     }
 
     #[test]

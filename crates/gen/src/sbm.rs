@@ -16,7 +16,10 @@ use rayon::prelude::*;
 
 /// Draws a Poisson variate (Knuth's method; fine for the small λ used here).
 pub(crate) fn poisson(rng: &mut ChaCha8Rng, lambda: f64) -> usize {
-    debug_assert!(lambda >= 0.0 && lambda < 64.0, "poisson λ out of supported range");
+    debug_assert!(
+        lambda >= 0.0 && lambda < 64.0,
+        "poisson λ out of supported range"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -99,8 +102,13 @@ pub fn sbm_graph(p: &SbmParams) -> SbmGraph {
     let mut covered = 0usize;
     let mut size_rng = stream(p.seed, u64::MAX);
     while covered < p.num_vertices {
-        let s = pareto_int(&mut size_rng, p.min_community, p.max_community, p.size_exponent)
-            .min(p.num_vertices - covered);
+        let s = pareto_int(
+            &mut size_rng,
+            p.min_community,
+            p.max_community,
+            p.size_exponent,
+        )
+        .min(p.num_vertices - covered);
         sizes.push(s);
         covered += s;
     }
@@ -113,7 +121,9 @@ pub fn sbm_graph(p: &SbmParams) -> SbmGraph {
     }
     let mut ground_truth = vec![0u32; p.num_vertices];
     for (c, (&st, &sz)) in start.iter().zip(sizes.iter()).enumerate() {
-        ground_truth[st..st + sz].iter_mut().for_each(|g| *g = c as u32);
+        ground_truth[st..st + sz]
+            .iter_mut()
+            .for_each(|g| *g = c as u32);
     }
 
     // Per-vertex partner draws.

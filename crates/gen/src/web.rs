@@ -235,6 +235,11 @@ mod tests {
         let csr = pcd_graph::Csr::from_graph(&w.graph);
         let stats = pcd_graph::stats::degree_stats(&csr);
         // Hubs should push the max degree well above the mean.
-        assert!(stats.max as f64 > 5.0 * stats.mean, "max {} mean {}", stats.max, stats.mean);
+        assert!(
+            stats.max as f64 > 5.0 * stats.mean,
+            "max {} mean {}",
+            stats.max,
+            stats.mean
+        );
     }
 }

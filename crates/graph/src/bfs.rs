@@ -3,9 +3,9 @@
 //! substrate sanity check and for characterising generated graphs.
 
 use crate::Csr;
+use pcd_util::sync::{AtomicU32, RELAXED};
 use pcd_util::VertexId;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Unreached marker in distance arrays.
 pub const UNREACHED: u32 = u32::MAX;
@@ -16,7 +16,7 @@ pub fn bfs(csr: &Csr, source: VertexId) -> Vec<u32> {
     let nv = csr.num_vertices();
     assert!((source as usize) < nv, "source out of range");
     let dist: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(UNREACHED)).collect();
-    dist[source as usize].store(0, Ordering::Relaxed);
+    dist[source as usize].store(0, RELAXED);
     let mut frontier = vec![source];
     let mut level = 0u32;
     while !frontier.is_empty() {
@@ -29,7 +29,7 @@ pub fn bfs(csr: &Csr, source: VertexId) -> Vec<u32> {
                     // Claim unreached neighbours; CAS ensures each vertex
                     // joins the next frontier exactly once.
                     dist_ref[u as usize]
-                        .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(UNREACHED, level, RELAXED, RELAXED)
                         .is_ok()
                         .then_some(u)
                 })
@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn path_distances() {
-        let g = GraphBuilder::new(5).add_pairs((0..4u32).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::new(5)
+            .add_pairs((0..4u32).map(|i| (i, i + 1)))
+            .build();
         let d = bfs(&csr_of(&g), 0);
         assert_eq!(d, vec![0, 1, 2, 3, 4]);
         assert_eq!(eccentricity(&csr_of(&g), 2), 2);

@@ -7,11 +7,10 @@
 //! bucket construction. The result is deterministic for any thread count.
 
 use crate::{atomic_histogram, canonical_order, Graph};
-use pcd_util::atomics::as_atomic_u64;
 use pcd_util::scan::offsets_from_counts;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::{PcdError, VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Incremental builder for small / test graphs. For bulk ingest use
 /// [`from_edges`], which this delegates to.
@@ -24,7 +23,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder over `nv` vertices.
     pub fn new(nv: usize) -> Self {
-        GraphBuilder { nv, edges: Vec::new() }
+        GraphBuilder {
+            nv,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an edge; `i == j` is routed to the self-loop array, duplicates
@@ -93,9 +95,9 @@ pub fn try_from_edges(
     // list must not be able to wrap it.
     let mut total: Weight = 0;
     for &(_, _, w) in &edges {
-        total = total.checked_add(w).ok_or_else(|| {
-            PcdError::corrupt("total edge weight overflows the u64 accumulator")
-        })?;
+        total = total
+            .checked_add(w)
+            .ok_or_else(|| PcdError::corrupt("total edge weight overflows the u64 accumulator"))?;
     }
 
     // Split off self-loops and canonicalise the rest.
@@ -108,7 +110,7 @@ pub fn try_from_edges(
                 if w == 0 {
                     None
                 } else if i == j {
-                    cells[i as usize].fetch_add(w, Ordering::Relaxed);
+                    cells[i as usize].fetch_add(w, RELAXED);
                     None
                 } else {
                     let (a, b) = canonical_order(i, j);
@@ -128,7 +130,15 @@ pub fn try_from_edges(
     let bucket_begin = offsets[..nv].to_vec();
     let bucket_end = offsets[1..=nv].to_vec();
 
-    Ok(Graph::from_parts(nv, src, dst, weight, bucket_begin, bucket_end, self_loop))
+    Ok(Graph::from_parts(
+        nv,
+        src,
+        dst,
+        weight,
+        bucket_begin,
+        bucket_end,
+        self_loop,
+    ))
 }
 
 /// Segmented reduction over a sorted edge list: collapse equal `(src, dst)`
@@ -144,8 +154,7 @@ fn dedup_accumulate(
     let mut slot: Vec<usize> = (0..n)
         .into_par_iter()
         .map(|i| {
-            let head = i == 0
-                || (sorted[i - 1].0, sorted[i - 1].1) != (sorted[i].0, sorted[i].1);
+            let head = i == 0 || (sorted[i - 1].0, sorted[i - 1].1) != (sorted[i].0, sorted[i].1);
             head as usize
         })
         .collect();
@@ -156,16 +165,16 @@ fn dedup_accumulate(
     let mut dst = vec![0u32; nruns];
     let mut weight = vec![0u64; nruns];
     {
-        let src_c = pcd_util::atomics::as_atomic_u32(&mut src);
-        let dst_c = pcd_util::atomics::as_atomic_u32(&mut dst);
+        let src_c = pcd_util::sync::as_atomic_u32(&mut src);
+        let dst_c = pcd_util::sync::as_atomic_u32(&mut dst);
         let w_c = as_atomic_u64(&mut weight);
         (0..n).into_par_iter().for_each(|i| {
             let r = slot[i] + heads[i] as usize - 1;
             if heads[i] {
-                src_c[r].store(sorted[i].0, Ordering::Relaxed);
-                dst_c[r].store(sorted[i].1, Ordering::Relaxed);
+                src_c[r].store(sorted[i].0, RELAXED);
+                dst_c[r].store(sorted[i].1, RELAXED);
             }
-            w_c[r].fetch_add(sorted[i].2, Ordering::Relaxed);
+            w_c[r].fetch_add(sorted[i].2, RELAXED);
         });
     }
     (src, dst, weight)

@@ -6,10 +6,9 @@
 //! flavoured) plus a sequential union-find oracle used in tests.
 
 use crate::Graph;
-use pcd_util::atomics::as_atomic_u32;
+use pcd_util::sync::{as_atomic_u32, AtomicBool, RELAXED};
 use pcd_util::VertexId;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Parallel connected-component labelling.
 ///
@@ -22,34 +21,34 @@ pub fn components(g: &Graph) -> Vec<VertexId> {
         return label;
     }
     let changed = AtomicBool::new(true);
-    while changed.swap(false, Ordering::Relaxed) {
+    while changed.swap(false, RELAXED) {
         {
             let cells = as_atomic_u32(&mut label);
             // Hook: pull each edge's endpoints to the smaller label.
             (0..g.num_edges()).into_par_iter().for_each(|e| {
                 let (i, j, _) = g.edge(e);
-                let li = cells[i as usize].load(Ordering::Relaxed);
-                let lj = cells[j as usize].load(Ordering::Relaxed);
+                let li = cells[i as usize].load(RELAXED);
+                let lj = cells[j as usize].load(RELAXED);
                 if li < lj {
-                    if cells[j as usize].fetch_min(li, Ordering::Relaxed) > li {
-                        changed.store(true, Ordering::Relaxed);
+                    if cells[j as usize].fetch_min(li, RELAXED) > li {
+                        changed.store(true, RELAXED);
                     }
-                } else if lj < li && cells[i as usize].fetch_min(lj, Ordering::Relaxed) > lj {
-                    changed.store(true, Ordering::Relaxed);
+                } else if lj < li && cells[i as usize].fetch_min(lj, RELAXED) > lj {
+                    changed.store(true, RELAXED);
                 }
             });
             // Shortcut: pointer-jump labels toward roots.
             loop {
                 let jumped = AtomicBool::new(false);
                 (0..nv).into_par_iter().for_each(|v| {
-                    let l = cells[v].load(Ordering::Relaxed);
-                    let ll = cells[l as usize].load(Ordering::Relaxed);
+                    let l = cells[v].load(RELAXED);
+                    let ll = cells[l as usize].load(RELAXED);
                     if ll < l {
-                        cells[v].fetch_min(ll, Ordering::Relaxed);
-                        jumped.store(true, Ordering::Relaxed);
+                        cells[v].fetch_min(ll, RELAXED);
+                        jumped.store(true, RELAXED);
                     }
                 });
-                if !jumped.load(Ordering::Relaxed) {
+                if !jumped.load(RELAXED) {
                     break;
                 }
             }
@@ -134,7 +133,13 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         let nv = 300;
         let edges: Vec<_> = (0..400)
-            .map(|_| (rng.gen_range(0..nv as u32), rng.gen_range(0..nv as u32), 1u64))
+            .map(|_| {
+                (
+                    rng.gen_range(0..nv as u32),
+                    rng.gen_range(0..nv as u32),
+                    1u64,
+                )
+            })
             .collect();
         let g = crate::builder::from_edges(nv, edges);
         assert_eq!(components(&g), components_seq(&g));

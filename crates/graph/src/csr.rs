@@ -8,9 +8,9 @@
 
 use crate::Graph;
 use pcd_util::scan::offsets_from_counts;
+use pcd_util::sync::{AtomicUsize, RELAXED};
 use pcd_util::{VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Symmetric CSR adjacency: for every vertex, all incident edges.
 #[derive(Debug, Clone)]
@@ -37,29 +37,28 @@ impl Csr {
         let counts: Vec<AtomicUsize> = (0..nv).map(|_| AtomicUsize::new(0)).collect();
         (0..ne).into_par_iter().for_each(|e| {
             let (i, j, _) = g.edge(e);
-            counts[i as usize].fetch_add(1, Ordering::Relaxed);
-            counts[j as usize].fetch_add(1, Ordering::Relaxed);
+            counts[i as usize].fetch_add(1, RELAXED);
+            counts[j as usize].fetch_add(1, RELAXED);
         });
         let counts: Vec<usize> = counts.into_iter().map(|c| c.into_inner()).collect();
         let xadj = offsets_from_counts(&counts);
         let total = xadj[nv];
 
         // Scatter with per-vertex atomic cursors.
-        let cursor: Vec<AtomicUsize> =
-            xadj[..nv].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let cursor: Vec<AtomicUsize> = xadj[..nv].iter().map(|&o| AtomicUsize::new(o)).collect();
         let mut adj = vec![0u32; total];
         let mut wgt = vec![0u64; total];
         {
-            let adj_c = pcd_util::atomics::as_atomic_u32(&mut adj);
-            let wgt_c = pcd_util::atomics::as_atomic_u64(&mut wgt);
+            let adj_c = pcd_util::sync::as_atomic_u32(&mut adj);
+            let wgt_c = pcd_util::sync::as_atomic_u64(&mut wgt);
             (0..ne).into_par_iter().for_each(|e| {
                 let (i, j, w) = g.edge(e);
-                let pi = cursor[i as usize].fetch_add(1, Ordering::Relaxed);
-                adj_c[pi].store(j, Ordering::Relaxed);
-                wgt_c[pi].store(w, Ordering::Relaxed);
-                let pj = cursor[j as usize].fetch_add(1, Ordering::Relaxed);
-                adj_c[pj].store(i, Ordering::Relaxed);
-                wgt_c[pj].store(w, Ordering::Relaxed);
+                let pi = cursor[i as usize].fetch_add(1, RELAXED);
+                adj_c[pi].store(j, RELAXED);
+                wgt_c[pi].store(w, RELAXED);
+                let pj = cursor[j as usize].fetch_add(1, RELAXED);
+                adj_c[pj].store(i, RELAXED);
+                wgt_c[pj].store(w, RELAXED);
             });
         }
 
@@ -68,8 +67,12 @@ impl Csr {
         let adj_ptr = SyncSliceMut(adj.as_mut_ptr());
         let wgt_ptr = SyncSliceMut(wgt.as_mut_ptr());
         zipped.par_iter_mut().for_each(|&mut (b, e)| {
-            // Disjoint ranges per vertex make the raw-pointer access safe.
             let (adj_ptr, wgt_ptr) = (&adj_ptr, &wgt_ptr);
+            // SAFETY: `xadj` is a strictly partitioning prefix-sum, so the
+            // half-open ranges `[b, e)` are pairwise disjoint across rayon
+            // tasks and in-bounds for `adj`/`wgt` (both have length
+            // `xadj[nv]`); no other reference touches the buffers while
+            // the parallel region runs.
             unsafe {
                 let a = std::slice::from_raw_parts_mut(adj_ptr.0.add(b), e - b);
                 let w = std::slice::from_raw_parts_mut(wgt_ptr.0.add(b), e - b);
@@ -107,7 +110,10 @@ impl Csr {
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
-        self.adj[r.clone()].iter().copied().zip(self.wgt[r].iter().copied())
+        self.adj[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.wgt[r].iter().copied())
     }
 
     /// Weighted degree including self-loop volume:
@@ -120,7 +126,12 @@ impl Csr {
 
 /// Send+Sync wrapper for a raw pointer used only on disjoint ranges.
 struct SyncSliceMut<T>(*mut T);
+// SAFETY: the wrapper is shared across threads only inside the sorting
+// region above, where every task dereferences a disjoint index range, so
+// concurrent access never aliases.
 unsafe impl<T> Sync for SyncSliceMut<T> {}
+// SAFETY: moving the raw pointer between threads is fine; the disjointness
+// argument above governs every dereference.
 unsafe impl<T> Send for SyncSliceMut<T> {}
 
 #[cfg(test)]
@@ -129,7 +140,9 @@ mod tests {
     use crate::GraphBuilder;
 
     fn path4() -> Graph {
-        GraphBuilder::new(4).add_pairs([(0, 1), (1, 2), (2, 3)]).build()
+        GraphBuilder::new(4)
+            .add_pairs([(0, 1), (1, 2), (2, 3)])
+            .build()
     }
 
     #[test]

@@ -24,14 +24,18 @@ pub struct CommunitySubgraph {
 /// independent subgraphs, in parallel across communities.
 pub fn extract_communities(g: &Graph, assignment: &[VertexId]) -> Vec<CommunitySubgraph> {
     assert_eq!(assignment.len(), g.num_vertices());
-    let k = assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1);
+    let k = assignment
+        .par_iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1);
 
     // Group member lists per community.
     let counts = {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use pcd_util::sync::{AtomicUsize, RELAXED};
         let c: Vec<AtomicUsize> = (0..k).map(|_| AtomicUsize::new(0)).collect();
         assignment.par_iter().for_each(|&a| {
-            c[a as usize].fetch_add(1, Ordering::Relaxed);
+            c[a as usize].fetch_add(1, RELAXED);
         });
         c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()
     };
@@ -55,11 +59,7 @@ pub fn extract_communities(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityS
     for (i, j, w) in g.edges() {
         let (ci, cj) = (assignment[i as usize], assignment[j as usize]);
         if ci == cj {
-            internal[ci as usize].push((
-                new_of_old[i as usize],
-                new_of_old[j as usize],
-                w,
-            ));
+            internal[ci as usize].push((new_of_old[i as usize], new_of_old[j as usize], w));
         } else {
             external[ci as usize] += w;
             external[cj as usize] += w;
@@ -79,8 +79,7 @@ pub fn extract_communities(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityS
         .enumerate()
         .map(|(c, edges)| {
             let size = counts[c];
-            let old_of_new: Vec<VertexId> = members
-                [offsets[c]..offsets[c] + size]
+            let old_of_new: Vec<VertexId> = members[offsets[c]..offsets[c] + size]
                 .iter()
                 .map(|&(_, old)| old)
                 .collect();
@@ -122,7 +121,9 @@ mod tests {
     fn weights_partition_exactly() {
         let g = crate::builder::from_edges(
             8,
-            (0..30u32).map(|i| ((i * 7) % 8, (i * 5 + 1) % 8, 1u64)).collect(),
+            (0..30u32)
+                .map(|i| ((i * 7) % 8, (i * 5 + 1) % 8, 1u64))
+                .collect(),
         );
         let a = vec![0u32, 1, 0, 1, 0, 1, 0, 1];
         let subs = extract_communities(&g, &a);
@@ -134,7 +135,10 @@ mod tests {
 
     #[test]
     fn self_loops_follow_members() {
-        let g = GraphBuilder::new(2).add_self_loop(1, 7).add_edge(0, 1, 1).build();
+        let g = GraphBuilder::new(2)
+            .add_self_loop(1, 7)
+            .add_edge(0, 1, 1)
+            .build();
         let subs = extract_communities(&g, &[0, 1]);
         assert_eq!(subs[1].graph.self_loop(0), 7);
         assert_eq!(subs[0].graph.total_weight(), 0);
@@ -152,7 +156,9 @@ mod tests {
 
     #[test]
     fn mapping_roundtrips() {
-        let g = GraphBuilder::new(5).add_pairs([(0, 2), (2, 4), (1, 3)]).build();
+        let g = GraphBuilder::new(5)
+            .add_pairs([(0, 2), (2, 4), (1, 3)])
+            .build();
         let a = vec![0u32, 1, 0, 1, 0];
         let subs = extract_communities(&g, &a);
         for s in &subs {

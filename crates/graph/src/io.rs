@@ -60,7 +60,11 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, PcdError> {
         max_id = max_id.max(i).max(j);
         edges.push((i, j, w));
     }
-    let nv = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let nv = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     builder::try_from_edges(nv, edges)
 }
 
@@ -266,8 +270,7 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, PcdError> {
 
     // `ne` is untrusted: cap the pre-allocation, the vector grows as real
     // data arrives.
-    let mut edges: Vec<(VertexId, VertexId, Weight)> =
-        Vec::with_capacity(ne.min(1 << 20));
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(ne.min(1 << 20));
     let mut total: Weight = 0;
     let mut v: u32 = 0;
     for item in lines {
@@ -449,7 +452,10 @@ mod tests {
             let r = read_binary(&buf[..cut]);
             assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
             let r = read_binary_limited(&buf[..cut], Some(cut as u64));
-            assert!(r.is_err(), "limited prefix of {cut} bytes unexpectedly parsed");
+            assert!(
+                r.is_err(),
+                "limited prefix of {cut} bytes unexpectedly parsed"
+            );
         }
     }
 
@@ -498,7 +504,10 @@ mod tests {
 
     #[test]
     fn metis_rejects_self_loops_on_write() {
-        let g = GraphBuilder::new(2).add_edge(0, 1, 1).add_self_loop(0, 1).build();
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 1, 1)
+            .add_self_loop(0, 1)
+            .build();
         let mut buf = Vec::new();
         assert!(write_metis(&g, &mut buf).is_err());
     }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! The paper's core graph substrate (§IV-A).
 //!
 //! A weighted undirected graph is stored as an array of `(i, j, w)` triples
@@ -33,8 +34,8 @@ pub use csr::Csr;
 pub use edge::{canonical_order, Edge};
 pub use pcd_util::{VertexId, Weight, NO_VERTEX};
 
+use pcd_util::sync::{AtomicU64, RELAXED};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Weighted undirected graph in the paper's bucketed triple representation.
 ///
@@ -171,7 +172,9 @@ impl Graph {
 
     /// Parallel iterator over all stored edges.
     pub fn par_edges(&self) -> impl ParallelIterator<Item = (VertexId, VertexId, Weight)> + '_ {
-        (0..self.num_edges()).into_par_iter().map(move |e| self.edge(e))
+        (0..self.num_edges())
+            .into_par_iter()
+            .map(move |e| self.edge(e))
     }
 
     /// Per-vertex *volume*: `vol(v) = 2·self_loop(v) + Σ_{e ∋ v} w(e)`.
@@ -179,11 +182,11 @@ impl Graph {
     pub fn volumes(&self) -> Vec<Weight> {
         let mut vol: Vec<u64> = self.self_loop.par_iter().map(|&s| 2 * s).collect();
         {
-            let cells = pcd_util::atomics::as_atomic_u64(&mut vol);
+            let cells = pcd_util::sync::as_atomic_u64(&mut vol);
             (0..self.num_edges()).into_par_iter().for_each(|e| {
                 let (i, j, w) = self.edge(e);
-                cells[i as usize].fetch_add(w, Ordering::Relaxed);
-                cells[j as usize].fetch_add(w, Ordering::Relaxed);
+                cells[i as usize].fetch_add(w, RELAXED);
+                cells[j as usize].fetch_add(w, RELAXED);
             });
         }
         vol
@@ -261,8 +264,9 @@ impl Graph {
         // No duplicate edges: duplicates share the stored first endpoint,
         // hence would sit in the same bucket.
         for v in 0..self.nv {
-            let mut dsts: Vec<VertexId> =
-                (self.bucket_begin[v]..self.bucket_end[v]).map(|e| self.dst[e]).collect();
+            let mut dsts: Vec<VertexId> = (self.bucket_begin[v]..self.bucket_end[v])
+                .map(|e| self.dst[e])
+                .collect();
             dsts.sort_unstable();
             if dsts.windows(2).any(|w| w[0] == w[1]) {
                 return Err(format!("duplicate edge in bucket of v{v}"));
@@ -281,9 +285,12 @@ impl Graph {
 pub(crate) fn atomic_histogram(n: usize, keys: &[VertexId]) -> Vec<usize> {
     let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     keys.par_iter().for_each(|&k| {
-        counts[k as usize].fetch_add(1, Ordering::Relaxed);
+        counts[k as usize].fetch_add(1, RELAXED);
     });
-    counts.into_iter().map(|c| c.into_inner() as usize).collect()
+    counts
+        .into_iter()
+        .map(|c| c.into_inner() as usize)
+        .collect()
 }
 
 #[cfg(test)]
@@ -328,7 +335,10 @@ mod tests {
 
     #[test]
     fn coverage_counts_self_loops() {
-        let g = GraphBuilder::new(2).add_edge(0, 1, 1).add_self_loop(0, 3).build();
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 1, 1)
+            .add_self_loop(0, 3)
+            .build();
         assert_eq!(g.total_weight(), 4);
         assert!((g.coverage() - 0.75).abs() < 1e-12);
         assert_eq!(g.internal_weight(), 3);

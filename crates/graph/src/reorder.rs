@@ -22,7 +22,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity on `n` vertices.
     pub fn identity(n: usize) -> Self {
-        Permutation { new_of_old: (0..n as u32).collect() }
+        Permutation {
+            new_of_old: (0..n as u32).collect(),
+        }
     }
 
     /// Builds from an ordering (`order[k]` = old id placed at new id `k`).
@@ -36,7 +38,9 @@ impl Permutation {
 
     /// The inverse permutation (`old_of_new`).
     pub fn inverse(&self) -> Permutation {
-        Permutation { new_of_old: invert(&self.new_of_old) }
+        Permutation {
+            new_of_old: invert(&self.new_of_old),
+        }
     }
 
     /// Checks bijectivity.
@@ -64,6 +68,10 @@ impl Permutation {
         let cells = SyncVec(out.as_mut_ptr());
         values.par_iter().enumerate().for_each(|(old, &v)| {
             let cells = &cells;
+            // SAFETY: `new_of_old` is a bijection on `0..len` (checked at
+            // construction), so each task writes a distinct in-bounds slot
+            // of `out` and no write aliases another; `out` is not read
+            // until the parallel region joins.
             unsafe {
                 *cells.0.add(self.new_of_old[old] as usize) = v;
             }
@@ -81,7 +89,11 @@ fn invert(new_of_old: &[VertexId]) -> Vec<VertexId> {
 }
 
 struct SyncVec<T>(*mut T);
+// SAFETY: shared only inside `permute_values`, where the permutation's
+// bijectivity makes every dereference target a distinct slot.
 unsafe impl<T> Sync for SyncVec<T> {}
+// SAFETY: transferring the raw pointer is harmless; all dereferences are
+// covered by the disjoint-slot argument above.
 unsafe impl<T> Send for SyncVec<T> {}
 
 /// Applies a permutation, producing the relabelled graph.
@@ -215,7 +227,9 @@ mod tests {
 
     #[test]
     fn permute_values_relocates() {
-        let p = Permutation { new_of_old: vec![2, 0, 1] };
+        let p = Permutation {
+            new_of_old: vec![2, 0, 1],
+        };
         assert_eq!(p.permute_values(&[10, 20, 30]), vec![20, 30, 10]);
     }
 

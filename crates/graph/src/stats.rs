@@ -21,14 +21,27 @@ pub struct DegreeStats {
 pub fn degree_stats(csr: &Csr) -> DegreeStats {
     let nv = csr.num_vertices();
     if nv == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
     }
-    let degrees: Vec<usize> = (0..nv as u32).into_par_iter().map(|v| csr.degree(v)).collect();
+    let degrees: Vec<usize> = (0..nv as u32)
+        .into_par_iter()
+        .map(|v| csr.degree(v))
+        .collect();
     let min = degrees.par_iter().copied().min().unwrap();
     let max = degrees.par_iter().copied().max().unwrap();
     let sum: usize = degrees.par_iter().sum();
     let isolated = degrees.par_iter().filter(|&&d| d == 0).count();
-    DegreeStats { min, max, mean: sum as f64 / nv as f64, isolated }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / nv as f64,
+        isolated,
+    }
 }
 
 /// Log2-binned degree histogram: `hist[k]` counts vertices with degree in
@@ -38,7 +51,11 @@ pub fn degree_histogram_log2(csr: &Csr) -> Vec<usize> {
     let mut hist = Vec::new();
     for v in 0..nv as u32 {
         let d = csr.degree(v);
-        let bin = if d <= 1 { 0 } else { usize::BITS as usize - 1 - d.leading_zeros() as usize };
+        let bin = if d <= 1 {
+            0
+        } else {
+            usize::BITS as usize - 1 - d.leading_zeros() as usize
+        };
         if bin >= hist.len() {
             hist.resize(bin + 1, 0);
         }
@@ -62,8 +79,10 @@ pub fn degree_assortativity(csr: &Csr) -> f64 {
                 continue;
             }
             // Count both orientations for the symmetric correlation.
-            for (x, y) in [(degrees[v as usize], degrees[u as usize]),
-                           (degrees[u as usize], degrees[v as usize])] {
+            for (x, y) in [
+                (degrees[v as usize], degrees[u as usize]),
+                (degrees[u as usize], degrees[v as usize]),
+            ] {
                 n += 1.0;
                 sx += x;
                 sy += y;
@@ -128,7 +147,9 @@ mod tests {
 
     #[test]
     fn stats_of_star() {
-        let g = GraphBuilder::new(6).add_pairs((1..6).map(|i| (0u32, i))).build();
+        let g = GraphBuilder::new(6)
+            .add_pairs((1..6).map(|i| (0u32, i)))
+            .build();
         let csr = Csr::from_graph(&g);
         let s = degree_stats(&csr);
         assert_eq!(s.min, 1);
@@ -147,7 +168,9 @@ mod tests {
     #[test]
     fn histogram_bins() {
         // degrees: 5,1,1,1,1,1 -> bin2 (4..8) has 1, bin0 has 5
-        let g = GraphBuilder::new(6).add_pairs((1..6).map(|i| (0u32, i))).build();
+        let g = GraphBuilder::new(6)
+            .add_pairs((1..6).map(|i| (0u32, i)))
+            .build();
         let h = degree_histogram_log2(&Csr::from_graph(&g));
         assert_eq!(h[0], 5);
         assert_eq!(h[2], 1);
@@ -165,13 +188,17 @@ mod tests {
     #[test]
     fn assortativity_of_regular_graph_is_zero() {
         // Every endpoint has the same degree: zero variance -> 0.
-        let g = GraphBuilder::new(6).add_pairs((0..6u32).map(|i| (i, (i + 1) % 6))).build();
+        let g = GraphBuilder::new(6)
+            .add_pairs((0..6u32).map(|i| (i, (i + 1) % 6)))
+            .build();
         assert_eq!(degree_assortativity(&Csr::from_graph(&g)), 0.0);
     }
 
     #[test]
     fn star_is_disassortative() {
-        let g = GraphBuilder::new(6).add_pairs((1..6).map(|i| (0u32, i))).build();
+        let g = GraphBuilder::new(6)
+            .add_pairs((1..6).map(|i| (0u32, i)))
+            .build();
         let r = degree_assortativity(&Csr::from_graph(&g));
         // Hubs connect only to leaves: strongly negative (degenerate case
         // yields 0 variance on one side; use a double star instead).
@@ -188,6 +215,14 @@ mod tests {
         let g = Graph::empty(0);
         let csr = Csr::from_graph(&g);
         let s = degree_stats(&csr);
-        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                isolated: 0
+            }
+        );
     }
 }

@@ -6,9 +6,8 @@
 //! significant community structure").
 
 use crate::Csr;
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Per-vertex and total triangle counts (each triangle counted once in
 /// `total`, once per corner in `per_vertex`).
@@ -40,9 +39,9 @@ pub fn count_triangles(csr: &Csr) -> TriangleCounts {
                     }
                     for w in intersect_above(csr, v, u) {
                         found += 1;
-                        cells[v as usize].fetch_add(1, Ordering::Relaxed);
-                        cells[u as usize].fetch_add(1, Ordering::Relaxed);
-                        cells[w as usize].fetch_add(1, Ordering::Relaxed);
+                        cells[v as usize].fetch_add(1, RELAXED);
+                        cells[u as usize].fetch_add(1, RELAXED);
+                        cells[w as usize].fetch_add(1, RELAXED);
                     }
                 }
                 found
@@ -105,7 +104,9 @@ mod tests {
 
     #[test]
     fn triangle_graph() {
-        let g = GraphBuilder::new(3).add_pairs([(0, 1), (1, 2), (0, 2)]).build();
+        let g = GraphBuilder::new(3)
+            .add_pairs([(0, 1), (1, 2), (0, 2)])
+            .build();
         let t = count_triangles(&csr(&g));
         assert_eq!(t.total, 1);
         assert_eq!(t.per_vertex, vec![1, 1, 1]);

@@ -47,12 +47,7 @@ pub fn max_weight_matching_score(g: &Graph, scores: &[f64]) -> f64 {
 pub fn max_weight_matching(g: &Graph, scores: &[f64]) -> Matching {
     assert!(g.num_vertices() <= 24, "brute force limited to tiny graphs");
     let edges: Vec<usize> = (0..g.num_edges()).filter(|&e| scores[e] > 0.0).collect();
-    fn dfs(
-        g: &Graph,
-        scores: &[f64],
-        edges: &[usize],
-        used: u32,
-    ) -> (f64, Vec<usize>) {
+    fn dfs(g: &Graph, scores: &[f64], edges: &[usize], used: u32) -> (f64, Vec<usize>) {
         match edges.split_first() {
             None => (0.0, Vec::new()),
             Some((&e, rest)) => {

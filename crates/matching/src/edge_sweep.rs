@@ -14,10 +14,9 @@
 
 use crate::{edge_beats, Matching};
 use pcd_graph::Graph;
-use pcd_util::atomics::as_atomic_u32;
+use pcd_util::sync::{as_atomic_u32, cas_improve_u64, AtomicU64, ACQUIRE, RELAXED};
 use pcd_util::NO_VERTEX;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 const EMPTY: u64 = u64::MAX;
 
@@ -59,17 +58,15 @@ pub fn match_edge_sweep_stats(g: &Graph, scores: &[f64]) -> (Matching, usize) {
             (0..nv as u32)
                 .into_par_iter()
                 .filter_map(|v| {
-                    let e = best[v as usize].load(Ordering::Acquire);
+                    let e = best[v as usize].load(ACQUIRE);
                     if e == EMPTY {
                         return None;
                     }
                     let e_us = e as usize;
                     let (i, j, _) = g.edge(e_us);
-                    if best[i as usize].load(Ordering::Acquire) == e
-                        && best[j as usize].load(Ordering::Acquire) == e
-                    {
-                        mate_cells[i as usize].store(j, Ordering::Relaxed);
-                        mate_cells[j as usize].store(i, Ordering::Relaxed);
+                    if best[i as usize].load(ACQUIRE) == e && best[j as usize].load(ACQUIRE) == e {
+                        mate_cells[i as usize].store(j, RELAXED);
+                        mate_cells[j as usize].store(i, RELAXED);
                         (v == i).then_some(e_us)
                     } else {
                         None
@@ -77,7 +74,7 @@ pub fn match_edge_sweep_stats(g: &Graph, scores: &[f64]) -> (Matching, usize) {
                 })
                 .collect()
         };
-        best.par_iter().for_each(|b| b.store(EMPTY, Ordering::Relaxed));
+        best.par_iter().for_each(|b| b.store(EMPTY, RELAXED));
         if new_pairs.is_empty() {
             break;
         }
@@ -87,15 +84,12 @@ pub fn match_edge_sweep_stats(g: &Graph, scores: &[f64]) -> (Matching, usize) {
     (Matching::new(mate, matched_edges), sweeps)
 }
 
+/// CAS-max via the audited retry loop; see `parallel::propose`.
 #[inline]
 fn propose(g: &Graph, scores: &[f64], cell: &AtomicU64, e: usize) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    while cur == EMPTY || edge_beats(g, scores, e, cur as usize) {
-        match cell.compare_exchange_weak(cur, e as u64, Ordering::AcqRel, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(actual) => cur = actual,
-        }
-    }
+    cas_improve_u64(cell, e as u64, |cur| {
+        cur == EMPTY || edge_beats(g, scores, e, cur as usize)
+    });
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Greedy approximately-maximum-weight maximal matching (§IV-B).
 //!
 //! Given per-edge scores, the matching selects disjoint community pairs to
@@ -68,7 +69,10 @@ impl Matching {
 
     /// An empty matching over `nv` vertices.
     pub fn empty(nv: usize) -> Self {
-        Matching { mate: vec![NO_VERTEX; nv], edges: Vec::new() }
+        Matching {
+            mate: vec![NO_VERTEX; nv],
+            edges: Vec::new(),
+        }
     }
 
     /// The matched partner of `v`, if any.

@@ -25,10 +25,9 @@
 
 use crate::{edge_beats, MatchOutcome, Matching};
 use pcd_graph::Graph;
-use pcd_util::atomics::as_atomic_u32;
+use pcd_util::sync::{as_atomic_u32, cas_improve_u64, AtomicU64, AtomicUsize, ACQUIRE, RELAXED};
 use pcd_util::{VertexId, NO_VERTEX};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Register value meaning "no proposal".
 const EMPTY: u64 = u64::MAX;
@@ -58,11 +57,7 @@ pub fn match_unmatched_list_stats(g: &Graph, scores: &[f64]) -> (Matching, usize
 /// service guards against its own bugs: a miscompiled CAS loop or a
 /// corrupted score array must cost throughput, not liveness. The result
 /// is a valid maximal matching either way.
-pub fn match_unmatched_list_capped(
-    g: &Graph,
-    scores: &[f64],
-    max_rounds: usize,
-) -> MatchOutcome {
+pub fn match_unmatched_list_capped(g: &Graph, scores: &[f64], max_rounds: usize) -> MatchOutcome {
     assert_eq!(scores.len(), g.num_edges());
     let nv = g.num_vertices();
     let mut mate: Vec<u32> = vec![NO_VERTEX; nv];
@@ -103,15 +98,17 @@ pub fn match_unmatched_list_capped(
                 })
                 .collect()
         };
-        list.par_iter().zip(proposals.par_iter()).for_each(|(&u, &e)| {
-            if e != EMPTY {
-                let e_us = e as usize;
-                let (i, j, _) = g.edge(e_us);
-                debug_assert_eq!(i, u);
-                propose(g, scores, &best[i as usize], e_us);
-                propose(g, scores, &best[j as usize], e_us);
-            }
-        });
+        list.par_iter()
+            .zip(proposals.par_iter())
+            .for_each(|(&u, &e)| {
+                if e != EMPTY {
+                    let e_us = e as usize;
+                    let (i, j, _) = g.edge(e_us);
+                    debug_assert_eq!(i, u);
+                    propose(g, scores, &best[i as usize], e_us);
+                    propose(g, scores, &best[j as usize], e_us);
+                }
+            });
 
         // Pass 2: resolve mutual-best edges. Each matched pair is recorded
         // once, by its stored-first endpoint.
@@ -119,18 +116,16 @@ pub fn match_unmatched_list_capped(
             let mate_cells = as_atomic_u32(&mut mate);
             list.par_iter()
                 .filter_map(|&u| {
-                    let e = best[u as usize].load(Ordering::Acquire);
+                    let e = best[u as usize].load(ACQUIRE);
                     if e == EMPTY {
                         return None;
                     }
                     let e_us = e as usize;
                     let (i, j, _) = g.edge(e_us);
-                    if best[i as usize].load(Ordering::Acquire) == e
-                        && best[j as usize].load(Ordering::Acquire) == e
-                    {
+                    if best[i as usize].load(ACQUIRE) == e && best[j as usize].load(ACQUIRE) == e {
                         // Both endpoints execute identical stores; benign.
-                        mate_cells[i as usize].store(j, Ordering::Relaxed);
-                        mate_cells[j as usize].store(i, Ordering::Relaxed);
+                        mate_cells[i as usize].store(j, RELAXED);
+                        mate_cells[j as usize].store(i, RELAXED);
                         (u == i).then_some(e_us)
                     } else {
                         None
@@ -147,14 +142,13 @@ pub fn match_unmatched_list_capped(
             .par_iter()
             .copied()
             .filter(|&u| {
-                best[u as usize].store(EMPTY, Ordering::Relaxed);
+                best[u as usize].store(EMPTY, RELAXED);
                 if mate_ro[u as usize] != NO_VERTEX {
                     return false;
                 }
                 // Still anything to propose next round?
-                g.bucket(u).any(|e| {
-                    scores[e] > 0.0 && mate_ro[g.dsts()[e] as usize] == NO_VERTEX
-                })
+                g.bucket(u)
+                    .any(|e| scores[e] > 0.0 && mate_ro[g.dsts()[e] as usize] == NO_VERTEX)
             })
             .collect();
         // Registers of passive endpoints (not on the list) must also reset.
@@ -162,10 +156,13 @@ pub fn match_unmatched_list_capped(
         // proposal targets: cheapest correct reset is clearing every best a
         // proposal may have touched — i.e. dst endpoints of list buckets.
         // A full clear is O(|V|) and rounds are few; keep it simple:
-        best.par_iter().for_each(|b| b.store(EMPTY, Ordering::Relaxed));
+        best.par_iter().for_each(|b| b.store(EMPTY, RELAXED));
 
         list = survivors;
-        debug_assert!(progressed || list.is_empty(), "matching round made no progress");
+        debug_assert!(
+            progressed || list.is_empty(),
+            "matching round made no progress"
+        );
         if !progressed && !list.is_empty() {
             // Defensive: cannot happen (globally best eligible edge is
             // always mutual-best), but never loop forever in release builds.
@@ -180,7 +177,11 @@ pub fn match_unmatched_list_capped(
         complete_sequential(g, scores, &mut mate, &mut matched_edges);
     }
 
-    MatchOutcome { matching: Matching::new(mate, matched_edges), rounds, degraded }
+    MatchOutcome {
+        matching: Matching::new(mate, matched_edges),
+        rounds,
+        degraded,
+    }
 }
 
 /// Sequential greedy completion over whatever is still unmatched. Uses
@@ -196,9 +197,7 @@ fn complete_sequential(
     let mut candidates: Vec<usize> = (0..g.num_edges())
         .filter(|&e| {
             let (i, j, _) = g.edge(e);
-            scores[e] > 0.0
-                && mate[i as usize] == NO_VERTEX
-                && mate[j as usize] == NO_VERTEX
+            scores[e] > 0.0 && mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX
         })
         .collect();
     candidates.sort_unstable_by(|&a, &b| {
@@ -217,16 +216,15 @@ fn complete_sequential(
     }
 }
 
-/// CAS-max of edge `e` into `cell` under the total order.
+/// CAS-max of edge `e` into `cell` under the total order. The retry loop
+/// itself lives in the audited sync layer ([`cas_improve_u64`]); `edge_beats`
+/// is a strict total order, so the register's final value is
+/// interleaving-independent.
 #[inline]
 fn propose(g: &Graph, scores: &[f64], cell: &AtomicU64, e: usize) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    while cur == EMPTY || edge_beats(g, scores, e, cur as usize) {
-        match cell.compare_exchange_weak(cur, e as u64, Ordering::AcqRel, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(actual) => cur = actual,
-        }
-    }
+    cas_improve_u64(cell, e as u64, |cur| {
+        cur == EMPTY || edge_beats(g, scores, e, cur as usize)
+    });
 }
 
 /// Counts vertices that remain unmatched (diagnostic).
@@ -234,7 +232,7 @@ pub fn unmatched_count(m: &Matching) -> usize {
     let c = AtomicUsize::new(0);
     m.mates().par_iter().for_each(|&x| {
         if x == NO_VERTEX {
-            c.fetch_add(1, Ordering::Relaxed);
+            c.fetch_add(1, RELAXED);
         }
     });
     c.into_inner()
@@ -283,7 +281,9 @@ mod tests {
     #[test]
     fn prefers_heavier_edge() {
         // Triangle where one edge dominates.
-        let g = GraphBuilder::new(3).add_pairs([(0, 1), (1, 2), (0, 2)]).build();
+        let g = GraphBuilder::new(3)
+            .add_pairs([(0, 1), (1, 2), (0, 2)])
+            .build();
         let mut s = vec![1.0; g.num_edges()];
         for e in 0..g.num_edges() {
             let (i, j, _) = g.edge(e);

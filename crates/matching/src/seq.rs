@@ -84,7 +84,11 @@ mod tests {
         let mut s = vec![0.0; g.num_edges()];
         for e in 0..g.num_edges() {
             let (i, j, _) = g.edge(e);
-            s[e] = if (i.min(j), i.max(j)) == (1, 2) { 2.0 } else { 1.0 };
+            s[e] = if (i.min(j), i.max(j)) == (1, 2) {
+                2.0
+            } else {
+                1.0
+            };
         }
         let m = match_sequential_greedy(&g, &s);
         assert_eq!(m.total_score(&s), 2.0);

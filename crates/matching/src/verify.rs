@@ -90,14 +90,18 @@ mod tests {
     fn rejects_asymmetric() {
         let g = pcd_gen::classic::path(2);
         let m = Matching::new(vec![1, pcd_util::NO_VERTEX], vec![]);
-        assert!(verify_matching(&g, &[1.0], &m).unwrap_err().contains("asymmetric"));
+        assert!(verify_matching(&g, &[1.0], &m)
+            .unwrap_err()
+            .contains("asymmetric"));
     }
 
     #[test]
     fn rejects_non_maximal() {
         let g = pcd_gen::classic::path(2);
         let m = Matching::empty(2);
-        assert!(verify_matching(&g, &[1.0], &m).unwrap_err().contains("maximal"));
+        assert!(verify_matching(&g, &[1.0], &m)
+            .unwrap_err()
+            .contains("maximal"));
     }
 
     #[test]
@@ -111,6 +115,8 @@ mod tests {
     fn rejects_self_mate() {
         let g = pcd_gen::classic::path(2);
         let m = Matching::new(vec![0, pcd_util::NO_VERTEX], vec![]);
-        assert!(verify_matching(&g, &[1.0], &m).unwrap_err().contains("itself"));
+        assert!(verify_matching(&g, &[1.0], &m)
+            .unwrap_err()
+            .contains("itself"));
     }
 }

@@ -11,16 +11,19 @@
 //! that the maximisation machinery applies unchanged.
 
 use pcd_graph::Graph;
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::VertexId;
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Per-community conductance under `assignment`. Communities with zero
 /// volume (empty/isolated) report 0.
 pub fn community_conductances(g: &Graph, assignment: &[VertexId]) -> Vec<f64> {
     assert_eq!(assignment.len(), g.num_vertices());
-    let k = assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1);
+    let k = assignment
+        .par_iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1);
     let two_m = 2 * g.total_weight();
     let mut cut = vec![0u64; k];
     let mut vol = vec![0u64; k];
@@ -30,17 +33,20 @@ pub fn community_conductances(g: &Graph, assignment: &[VertexId]) -> Vec<f64> {
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {
-                vol_c[assignment[v] as usize].fetch_add(2 * s, Ordering::Relaxed);
+                vol_c[assignment[v] as usize].fetch_add(2 * s, RELAXED);
             }
         });
         (0..g.num_edges()).into_par_iter().for_each(|e| {
             let (i, j, w) = g.edge(e);
-            let (ci, cj) = (assignment[i as usize] as usize, assignment[j as usize] as usize);
-            vol_c[ci].fetch_add(w, Ordering::Relaxed);
-            vol_c[cj].fetch_add(w, Ordering::Relaxed);
+            let (ci, cj) = (
+                assignment[i as usize] as usize,
+                assignment[j as usize] as usize,
+            );
+            vol_c[ci].fetch_add(w, RELAXED);
+            vol_c[cj].fetch_add(w, RELAXED);
             if ci != cj {
-                cut_c[ci].fetch_add(w, Ordering::Relaxed);
-                cut_c[cj].fetch_add(w, Ordering::Relaxed);
+                cut_c[ci].fetch_add(w, RELAXED);
+                cut_c[cj].fetch_add(w, RELAXED);
             }
         });
     }
@@ -72,7 +78,11 @@ pub struct ConductanceStats {
 pub fn conductance_stats(g: &Graph, assignment: &[VertexId]) -> ConductanceStats {
     let phis = community_conductances(g, assignment);
     if phis.is_empty() {
-        return ConductanceStats { mean: 0.0, max: 0.0, volume_weighted_mean: 0.0 };
+        return ConductanceStats {
+            mean: 0.0,
+            max: 0.0,
+            volume_weighted_mean: 0.0,
+        };
     }
     // Volumes for weighting.
     let k = phis.len();
@@ -82,13 +92,13 @@ pub fn conductance_stats(g: &Graph, assignment: &[VertexId]) -> ConductanceStats
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {
-                vol_c[assignment[v] as usize].fetch_add(2 * s, Ordering::Relaxed);
+                vol_c[assignment[v] as usize].fetch_add(2 * s, RELAXED);
             }
         });
         (0..g.num_edges()).into_par_iter().for_each(|e| {
             let (i, j, w) = g.edge(e);
-            vol_c[assignment[i as usize] as usize].fetch_add(w, Ordering::Relaxed);
-            vol_c[assignment[j as usize] as usize].fetch_add(w, Ordering::Relaxed);
+            vol_c[assignment[i as usize] as usize].fetch_add(w, RELAXED);
+            vol_c[assignment[j as usize] as usize].fetch_add(w, RELAXED);
         });
     }
     let nonempty: Vec<usize> = (0..k).filter(|&c| vol[c] > 0).collect();
@@ -105,7 +115,11 @@ pub fn conductance_stats(g: &Graph, assignment: &[VertexId]) -> ConductanceStats
             .sum::<f64>()
             / total_vol as f64
     };
-    ConductanceStats { mean, max, volume_weighted_mean: vw }
+    ConductanceStats {
+        mean,
+        max,
+        volume_weighted_mean: vw,
+    }
 }
 
 /// Conductance delta used by the conductance scorer (see `pcd-core`):

@@ -8,10 +8,9 @@
 //! ```
 
 use pcd_graph::Graph;
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::{VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Modularity of `assignment` over (possibly contracted) graph `g`.
 /// `assignment[v]` is the community of vertex `v`; ids need not be dense.
@@ -21,7 +20,11 @@ pub fn modularity(g: &Graph, assignment: &[VertexId]) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let k = assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1);
+    let k = assignment
+        .par_iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1);
 
     let mut internal = vec![0u64; k];
     let mut volume = vec![0u64; k];
@@ -32,17 +35,20 @@ pub fn modularity(g: &Graph, assignment: &[VertexId]) -> f64 {
             let c = assignment[v] as usize;
             let s = g.self_loop(v as u32);
             if s > 0 {
-                in_c[c].fetch_add(s, Ordering::Relaxed);
-                vol_c[c].fetch_add(2 * s, Ordering::Relaxed);
+                in_c[c].fetch_add(s, RELAXED);
+                vol_c[c].fetch_add(2 * s, RELAXED);
             }
         });
         (0..g.num_edges()).into_par_iter().for_each(|e| {
             let (i, j, w) = g.edge(e);
-            let (ci, cj) = (assignment[i as usize] as usize, assignment[j as usize] as usize);
-            vol_c[ci].fetch_add(w, Ordering::Relaxed);
-            vol_c[cj].fetch_add(w, Ordering::Relaxed);
+            let (ci, cj) = (
+                assignment[i as usize] as usize,
+                assignment[j as usize] as usize,
+            );
+            vol_c[ci].fetch_add(w, RELAXED);
+            vol_c[cj].fetch_add(w, RELAXED);
             if ci == cj {
-                in_c[ci].fetch_add(w, Ordering::Relaxed);
+                in_c[ci].fetch_add(w, RELAXED);
             }
         });
     }

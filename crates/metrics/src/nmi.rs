@@ -6,7 +6,14 @@ use pcd_util::VertexId;
 use std::collections::HashMap;
 
 /// Joint contingency counts between two assignments.
-fn contingency(a: &[VertexId], b: &[VertexId]) -> (HashMap<(u32, u32), u64>, HashMap<u32, u64>, HashMap<u32, u64>) {
+fn contingency(
+    a: &[VertexId],
+    b: &[VertexId],
+) -> (
+    HashMap<(u32, u32), u64>,
+    HashMap<u32, u64>,
+    HashMap<u32, u64>,
+) {
     assert_eq!(a.len(), b.len());
     let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
     let mut ma: HashMap<u32, u64> = HashMap::new();

@@ -33,14 +33,26 @@ pub fn pairwise_scores(predicted: &[VertexId], truth: &[VertexId]) -> PairwiseSc
     let tp: u64 = joint.values().map(|&c| choose2(c)).sum();
     let pred_pairs: u64 = mp.values().map(|&c| choose2(c)).sum();
     let true_pairs: u64 = mt.values().map(|&c| choose2(c)).sum();
-    let precision = if pred_pairs == 0 { 1.0 } else { tp as f64 / pred_pairs as f64 };
-    let recall = if true_pairs == 0 { 1.0 } else { tp as f64 / true_pairs as f64 };
+    let precision = if pred_pairs == 0 {
+        1.0
+    } else {
+        tp as f64 / pred_pairs as f64
+    };
+    let recall = if true_pairs == 0 {
+        1.0
+    } else {
+        tp as f64 / true_pairs as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PairwiseScores { precision, recall, f1 }
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Van Dongen split-join distance, normalised to `[0, 1]`:
@@ -77,7 +89,14 @@ mod tests {
     fn identical_partitions() {
         let a = vec![0u32, 0, 1, 1, 2];
         let s = pairwise_scores(&a, &a);
-        assert_eq!(s, PairwiseScores { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            s,
+            PairwiseScores {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
         assert_eq!(split_join_distance(&a, &a), 0.0);
     }
 

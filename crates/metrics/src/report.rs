@@ -2,10 +2,9 @@
 //! detected community, computed in one parallel pass.
 
 use pcd_graph::Graph;
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::{VertexId, Weight};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Statistics of one community.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +30,11 @@ pub struct CommunityReport {
 /// [`crate::compact_labels`]).
 pub fn community_reports(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityReport> {
     assert_eq!(assignment.len(), g.num_vertices());
-    let k = assignment.par_iter().copied().max().map_or(0, |x| x as usize + 1);
+    let k = assignment
+        .par_iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1);
     let two_m = 2 * g.total_weight();
 
     let mut size = vec![0u64; k];
@@ -43,20 +46,23 @@ pub fn community_reports(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityRep
         let cut_c = as_atomic_u64(&mut cut);
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let c = assignment[v] as usize;
-            size_c[c].fetch_add(1, Ordering::Relaxed);
+            size_c[c].fetch_add(1, RELAXED);
             let s = g.self_loop(v as u32);
             if s > 0 {
-                int_c[c].fetch_add(s, Ordering::Relaxed);
+                int_c[c].fetch_add(s, RELAXED);
             }
         });
         (0..g.num_edges()).into_par_iter().for_each(|e| {
             let (i, j, w) = g.edge(e);
-            let (ci, cj) = (assignment[i as usize] as usize, assignment[j as usize] as usize);
+            let (ci, cj) = (
+                assignment[i as usize] as usize,
+                assignment[j as usize] as usize,
+            );
             if ci == cj {
-                int_c[ci].fetch_add(w, Ordering::Relaxed);
+                int_c[ci].fetch_add(w, RELAXED);
             } else {
-                cut_c[ci].fetch_add(w, Ordering::Relaxed);
-                cut_c[cj].fetch_add(w, Ordering::Relaxed);
+                cut_c[ci].fetch_add(w, RELAXED);
+                cut_c[cj].fetch_add(w, RELAXED);
             }
         });
     }
@@ -65,7 +71,11 @@ pub fn community_reports(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityRep
         .map(|c| {
             let volume = 2 * internal[c] + cut[c];
             let denom = volume.min(two_m - volume);
-            let conductance = if denom == 0 { 0.0 } else { cut[c] as f64 / denom as f64 };
+            let conductance = if denom == 0 {
+                0.0
+            } else {
+                cut[c] as f64 / denom as f64
+            };
             let pairs = size[c] * size[c].saturating_sub(1) / 2;
             CommunityReport {
                 id: c as u32,
@@ -97,8 +107,12 @@ impl std::fmt::Display for CommunityReport {
         write!(
             f,
             "community {:>6}: {:>7} members, internal {:>9}, cut {:>8}, phi {:.4}, density {:.3}",
-            self.id, self.size, self.internal_weight, self.cut_weight,
-            self.conductance, self.internal_density
+            self.id,
+            self.size,
+            self.internal_weight,
+            self.cut_weight,
+            self.conductance,
+            self.internal_density
         )
     }
 }
@@ -146,7 +160,9 @@ mod tests {
 
     #[test]
     fn largest_sorted() {
-        let g = pcd_graph::GraphBuilder::new(5).add_pairs([(0, 1), (2, 3)]).build();
+        let g = pcd_graph::GraphBuilder::new(5)
+            .add_pairs([(0, 1), (2, 3)])
+            .build();
         let a = vec![0u32, 0, 1, 1, 2];
         let reports = community_reports(&g, &a);
         let top = largest_communities(&reports, 2);

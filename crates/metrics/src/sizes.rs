@@ -1,20 +1,23 @@
 //! Community size distributions and coverage.
 
 use pcd_graph::Graph;
-use pcd_util::atomics::as_atomic_u64;
+use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::VertexId;
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Number of members per community (dense ids assumed; use
 /// [`crate::compact_labels`] first if needed).
 pub fn community_sizes(assignment: &[VertexId]) -> Vec<usize> {
-    let k = assignment.iter().copied().max().map_or(0, |x| x as usize + 1);
+    let k = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1);
     let mut sizes = vec![0u64; k];
     {
         let cells = as_atomic_u64(&mut sizes);
         assignment.par_iter().for_each(|&c| {
-            cells[c as usize].fetch_add(1, Ordering::Relaxed);
+            cells[c as usize].fetch_add(1, RELAXED);
         });
     }
     sizes.into_iter().map(|s| s as usize).collect()
@@ -39,7 +42,12 @@ impl SizeStats {
         let sizes = community_sizes(assignment);
         let nonempty: Vec<usize> = sizes.into_iter().filter(|&s| s > 0).collect();
         if nonempty.is_empty() {
-            return SizeStats { num_communities: 0, min: 0, max: 0, mean: 0.0 };
+            return SizeStats {
+                num_communities: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+            };
         }
         SizeStats {
             num_communities: nonempty.len(),

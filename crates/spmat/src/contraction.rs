@@ -19,7 +19,10 @@ use rayon::prelude::*;
 pub fn adjacency_matrix(g: &Graph) -> CsrMatrix {
     let nv = g.num_vertices();
     let mut triplets: Vec<(u32, u32, u64)> = Vec::with_capacity(2 * g.num_edges() + nv);
-    triplets.par_extend(g.par_edges().flat_map_iter(|(i, j, w)| [(i, j, w), (j, i, w)]));
+    triplets.par_extend(
+        g.par_edges()
+            .flat_map_iter(|(i, j, w)| [(i, j, w), (j, i, w)]),
+    );
     triplets.extend(
         g.self_loops()
             .iter()

@@ -1,8 +1,8 @@
 //! A minimal parallel CSR sparse matrix over `u64` weights.
 
 use pcd_util::scan::offsets_from_counts;
+use pcd_util::sync::{AtomicUsize, RELAXED};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Compressed-sparse-row matrix with unsigned integer values.
 ///
@@ -25,13 +25,12 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Builds from unsorted COO triplets, accumulating duplicates and
     /// dropping explicit zeros. Parallel and deterministic.
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        mut triplets: Vec<(u32, u32, u64)>,
-    ) -> Self {
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(u32, u32, u64)>) -> Self {
         triplets.retain(|&(r, c, v)| {
-            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of range");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet out of range"
+            );
             v != 0
         });
         triplets.par_sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -51,7 +50,13 @@ impl CsrMatrix {
             }
         }
         let indptr = offsets_from_counts(&indptr_counts);
-        CsrMatrix { rows, cols, indptr, indices, values }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An all-zero matrix.
@@ -72,7 +77,13 @@ impl CsrMatrix {
         let indptr: Vec<usize> = (0..=n).collect();
         let indices = assignment.to_vec();
         debug_assert!(assignment.iter().all(|&c| (c as usize) < k));
-        CsrMatrix { rows: n, cols: k, indptr, indices, values: vec![1; n] }
+        CsrMatrix {
+            rows: n,
+            cols: k,
+            indptr,
+            indices,
+            values: vec![1; n],
+        }
     }
 
     #[inline]
@@ -105,23 +116,25 @@ impl CsrMatrix {
         let counts = {
             let c: Vec<AtomicUsize> = (0..self.cols).map(|_| AtomicUsize::new(0)).collect();
             self.indices.par_iter().for_each(|&j| {
-                c[j as usize].fetch_add(1, Ordering::Relaxed);
+                c[j as usize].fetch_add(1, RELAXED);
             });
             c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()
         };
         let indptr = offsets_from_counts(&counts);
-        let cursor: Vec<AtomicUsize> =
-            indptr[..self.cols].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let cursor: Vec<AtomicUsize> = indptr[..self.cols]
+            .iter()
+            .map(|&o| AtomicUsize::new(o))
+            .collect();
         let mut indices = vec![0u32; self.nnz()];
         let mut values = vec![0u64; self.nnz()];
         {
-            let idx = pcd_util::atomics::as_atomic_u32(&mut indices);
-            let val = pcd_util::atomics::as_atomic_u64(&mut values);
+            let idx = pcd_util::sync::as_atomic_u32(&mut indices);
+            let val = pcd_util::sync::as_atomic_u64(&mut values);
             (0..self.rows).into_par_iter().for_each(|r| {
                 for (c, v) in self.row(r) {
-                    let pos = cursor[c as usize].fetch_add(1, Ordering::Relaxed);
-                    idx[pos].store(r as u32, Ordering::Relaxed);
-                    val[pos].store(v, Ordering::Relaxed);
+                    let pos = cursor[c as usize].fetch_add(1, RELAXED);
+                    idx[pos].store(r as u32, RELAXED);
+                    val[pos].store(v, RELAXED);
                 }
             });
         }
@@ -146,8 +159,7 @@ impl CsrMatrix {
         let rows_out: Vec<(Vec<u32>, Vec<u64>)> = (0..self.rows)
             .into_par_iter()
             .map(|r| {
-                let mut acc: std::collections::HashMap<u32, u64> =
-                    std::collections::HashMap::new();
+                let mut acc: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
                 for (k, va) in self.row(r) {
                     for (j, vb) in rhs.row(k as usize) {
                         *acc.entry(j).or_insert(0) += va * vb;
@@ -167,18 +179,29 @@ impl CsrMatrix {
             indices.extend(c);
             values.extend(v);
         }
-        CsrMatrix { rows: self.rows, cols: rhs.cols, indptr, indices, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Sorts each row's entries by column (restores the invariant after a
     /// scatter); disjoint row ranges allow safe parallel mutation.
     fn sort_rows(&mut self) {
-        let ranges: Vec<(usize, usize)> =
-            (0..self.rows).map(|r| (self.indptr[r], self.indptr[r + 1])).collect();
+        let ranges: Vec<(usize, usize)> = (0..self.rows)
+            .map(|r| (self.indptr[r], self.indptr[r + 1]))
+            .collect();
         let idx_ptr = SendPtr(self.indices.as_mut_ptr());
         let val_ptr = SendPtr(self.values.as_mut_ptr());
         ranges.into_par_iter().for_each(|(b, e)| {
             let (idx_ptr, val_ptr) = (&idx_ptr, &val_ptr);
+            // SAFETY: `indptr` is monotone, so the row ranges `[b, e)` are
+            // pairwise disjoint and in-bounds for `indices`/`values`
+            // (length `indptr[rows]`); the buffers are borrowed mutably by
+            // this method, so no other reference exists during the region.
             unsafe {
                 let ids = std::slice::from_raw_parts_mut(idx_ptr.0.add(b), e - b);
                 let vals = std::slice::from_raw_parts_mut(val_ptr.0.add(b), e - b);
@@ -228,7 +251,11 @@ impl CsrMatrix {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: shared only inside the row-sorting region, where each task
+// dereferences a disjoint row range; accesses never alias.
 unsafe impl<T> Sync for SendPtr<T> {}
+// SAFETY: moving the pointer across threads is fine; every dereference is
+// covered by the disjoint-row argument above.
 unsafe impl<T> Send for SendPtr<T> {}
 
 #[cfg(test)]

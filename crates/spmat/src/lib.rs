@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Sparse-matrix formulation of the agglomerative algorithm.
 //!
 //! The paper's §VI observes that "much of the algorithm can be expressed

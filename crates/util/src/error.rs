@@ -84,7 +84,10 @@ impl PcdError {
     /// Builds a [`PcdError::Parse`] with a 0-based line index as produced
     /// by `lines().enumerate()`.
     pub fn parse_at(lineno0: usize, msg: impl Into<String>) -> Self {
-        PcdError::Parse { line: lineno0 + 1, msg: msg.into() }
+        PcdError::Parse {
+            line: lineno0 + 1,
+            msg: msg.into(),
+        }
     }
 
     /// Builds a [`PcdError::Corrupt`].
@@ -104,13 +107,20 @@ impl PcdError {
 
     /// Builds a [`PcdError::InvariantViolation`].
     pub fn invariant(level: usize, phase: Phase, detail: impl Into<String>) -> Self {
-        PcdError::InvariantViolation { level, phase, detail: detail.into() }
+        PcdError::InvariantViolation {
+            level,
+            phase,
+            detail: detail.into(),
+        }
     }
 
     /// Wraps `self` with context (typically a file path or command name).
     #[must_use]
     pub fn context(self, context: impl Into<String>) -> Self {
-        PcdError::Context { context: context.into(), source: Box::new(self) }
+        PcdError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
     }
 
     /// True if this error (or the error it wraps) is an
@@ -132,8 +142,15 @@ impl fmt::Display for PcdError {
             PcdError::Corrupt { msg } => write!(f, "corrupt input: {msg}"),
             PcdError::Config { msg } => write!(f, "invalid configuration: {msg}"),
             PcdError::Usage { msg } => write!(f, "{msg}"),
-            PcdError::InvariantViolation { level, phase, detail } => {
-                write!(f, "invariant violation at level {level} in {phase} phase: {detail}")
+            PcdError::InvariantViolation {
+                level,
+                phase,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "invariant violation at level {level} in {phase} phase: {detail}"
+                )
             }
             PcdError::Context { context, source } => write!(f, "{context}: {source}"),
         }

@@ -1,12 +1,17 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Shared low-level utilities for the parallel community detection crates.
 //!
 //! The paper's Cray XMT implementation leans on full/empty bits and the
 //! OpenMP port on explicit locks; this crate collects the Rust equivalents
 //! used throughout the workspace:
 //!
-//! * [`atomics`] — CAS-based fetch-max over packed `(score, index)` keys and
-//!   atomic `f64` accumulation, replacing XMT full/empty-bit hot spots.
+//! * [`sync`] — the audited synchronisation layer: every atomic type,
+//!   ordering choice and lock-free retry loop in the workspace routes
+//!   through it (enforced by `cargo xtask lint`), and `--cfg loom` swaps
+//!   in loom's model-checked doubles. Includes the CAS-based fetch-max
+//!   over packed `(score, index)` keys and atomic `f64` accumulation that
+//!   replace XMT full/empty-bit hot spots.
 //! * [`scan`] — parallel exclusive prefix sums, used to assign contiguous
 //!   vertex ids and bucket offsets during contraction.
 //! * [`rng`] — deterministic per-index ChaCha streams so generated graphs do
@@ -19,11 +24,11 @@
 //!   path (readers, builders, CLI, runtime invariant guards) reports
 //!   through instead of panicking.
 
-pub mod atomics;
 pub mod error;
 pub mod pool;
 pub mod rng;
 pub mod scan;
+pub mod sync;
 pub mod timing;
 
 pub use error::{PcdError, Phase};

@@ -13,7 +13,9 @@ pub struct Timer {
 impl Timer {
     /// Starts timing now.
     pub fn start() -> Self {
-        Timer { start: Instant::now() }
+        Timer {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

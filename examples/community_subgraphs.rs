@@ -11,7 +11,11 @@ use parcomm::prelude::*;
 fn main() {
     let web = parcomm::gen::web_graph(&parcomm::gen::WebParams::uk_like(50_000, 5));
     let g = web.graph;
-    println!("web graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "web graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let result = detect(g.clone(), &Config::default());
     println!(

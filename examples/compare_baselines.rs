@@ -40,14 +40,22 @@ fn run_all(name: &str, graph: &Graph, truth: Option<&[u32]>) {
 
     let t = Instant::now();
     let r = detect(graph.clone(), &Config::default());
-    rows.push(eval(&r.assignment, t.elapsed().as_secs_f64(), "parallel-agglom"));
+    rows.push(eval(
+        &r.assignment,
+        t.elapsed().as_secs_f64(),
+        "parallel-agglom",
+    ));
 
     let t = Instant::now();
     let r = detect(
         graph.clone(),
         &Config::default().with_scorer(ScorerKind::Conductance),
     );
-    rows.push(eval(&r.assignment, t.elapsed().as_secs_f64(), "parallel-conduct"));
+    rows.push(eval(
+        &r.assignment,
+        t.elapsed().as_secs_f64(),
+        "parallel-conduct",
+    ));
 
     let t = Instant::now();
     let a = cnm(graph);

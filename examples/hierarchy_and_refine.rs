@@ -20,7 +20,10 @@ fn main() {
     let result = detect(g.clone(), &Config::default().with_recorded_levels());
 
     println!("\ndendrogram cuts (level 0 = singletons):");
-    println!("{:>6} {:>12} {:>10} {:>10} {:>8}", "level", "communities", "Q", "coverage", "NMI");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>8}",
+        "level", "communities", "Q", "coverage", "NMI"
+    );
     for level in 0..=result.level_maps.len() {
         let a = result.assignment_at_level(level);
         let (dense, k) = parcomm::metrics::compact_labels(&a);
@@ -37,8 +40,7 @@ fn main() {
     println!("  Q before: {:.4}", refined.q_before);
     println!("  Q after:  {:.4}", refined.q_after);
     println!("  moves per sweep: {:?}", refined.moves_per_sweep);
-    let nmi_before =
-        normalized_mutual_information(&result.assignment, &sbm.ground_truth);
+    let nmi_before = normalized_mutual_information(&result.assignment, &sbm.ground_truth);
     let (dense, _) = parcomm::metrics::compact_labels(&refined.assignment);
     let nmi_after = normalized_mutual_information(&dense, &sbm.ground_truth);
     println!("  NMI vs planted: {nmi_before:.3} -> {nmi_after:.3}");

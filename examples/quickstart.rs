@@ -25,10 +25,7 @@ fn main() {
     for lvl in &result.levels {
         println!(
             "  level {}: {:>3} communities -> merged {:>2} pairs, Q = {:.4}",
-            lvl.level,
-            lvl.num_vertices,
-            lvl.pairs_merged,
-            lvl.modularity
+            lvl.level, lvl.num_vertices, lvl.pairs_merged, lvl.modularity
         );
     }
 

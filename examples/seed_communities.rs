@@ -35,8 +35,7 @@ fn main() {
     );
     for seed in [3u32, 1111, 4242, 9000, 17777] {
         let truth_c = sbm.ground_truth[seed as usize];
-        let planted: usize =
-            sbm.ground_truth.iter().filter(|&&c| c == truth_c).count();
+        let planted: usize = sbm.ground_truth.iter().filter(|&&c| c == truth_c).count();
         let local = seed_expand(g, seed, 4 * planted);
         let inside = local
             .members
@@ -44,11 +43,7 @@ fn main() {
             .filter(|&&v| sbm.ground_truth[v as usize] == truth_c)
             .count();
         let global_c = global.assignment[seed as usize];
-        let global_size = global
-            .assignment
-            .iter()
-            .filter(|&&c| c == global_c)
-            .count();
+        let global_size = global.assignment.iter().filter(|&&c| c == global_c).count();
         println!(
             "{:>8} {:>12} {:>12} {:>12} {:>10.3} {:>10.4}",
             seed,
@@ -59,5 +54,8 @@ fn main() {
             local.conductance
         );
     }
-    println!("\nglobal detector: {} communities, Q = {:.4}", global.num_communities, global.modularity);
+    println!(
+        "\nglobal detector: {} communities, Q = {:.4}",
+        global.num_communities, global.modularity
+    );
 }

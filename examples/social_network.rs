@@ -46,8 +46,13 @@ fn main() {
     for l in &result.levels {
         println!(
             "  {:>5}  {:>11}  {:>9}  {:>6}  {:>6}  {:>7.4}  {:>9.3}",
-            l.level, l.num_vertices, l.num_edges, l.pairs_merged, l.match_rounds,
-            l.modularity, l.coverage
+            l.level,
+            l.num_vertices,
+            l.num_edges,
+            l.pairs_merged,
+            l.match_rounds,
+            l.modularity,
+            l.coverage
         );
     }
 
@@ -67,7 +72,12 @@ fn main() {
         sbm.graph.clone(),
         &Config::default().with_max_community_size(cap),
     );
-    let biggest = capped.community_vertex_counts.iter().max().copied().unwrap_or(0);
+    let biggest = capped
+        .community_vertex_counts
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0);
     println!(
         "constrained mode (max community size {cap}): {} communities, largest has {biggest} members",
         capped.num_communities

@@ -6,6 +6,8 @@
 //! files, out-of-range ids and bad flags produce structured errors, never
 //! panics.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use parcomm::core::refine::detect_refined;
 use parcomm::core::{try_detect, Paranoia};
 use parcomm::prelude::*;
@@ -57,7 +59,9 @@ whitespace edge list.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") || args.first().map(String::as_str) == Some("help") {
+    if args.iter().any(|a| a == "--help" || a == "-h")
+        || args.first().map(String::as_str) == Some("help")
+    {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
@@ -105,7 +109,11 @@ impl<'a> Flags<'a> {
                 if !allowed.contains(&a.as_str()) {
                     return Err(PcdError::usage(format!(
                         "{cmd}: unknown flag '{a}' (allowed: {})",
-                        if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
                     )));
                 }
                 if i + 1 >= self.0.len() {
@@ -172,9 +180,21 @@ fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed(
         "gen",
-        &["-o", "--out", "--seed", "--scale", "--vertices", "--cliques", "--size", "--mixing"],
+        &[
+            "-o",
+            "--out",
+            "--seed",
+            "--scale",
+            "--vertices",
+            "--cliques",
+            "--size",
+            "--mixing",
+        ],
     )?;
-    let kind = f.positional(0).ok_or_else(|| usage("gen: missing kind"))?.to_string();
+    let kind = f
+        .positional(0)
+        .ok_or_else(|| usage("gen: missing kind"))?
+        .to_string();
     let out: PathBuf = f
         .get("-o")
         .or(f.get("--out"))
@@ -237,7 +257,9 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             "--assignments",
         ],
     )?;
-    let path = f.positional(0).ok_or_else(|| usage("detect: missing graph file"))?;
+    let path = f
+        .positional(0)
+        .ok_or_else(|| usage("detect: missing graph file"))?;
     let g = load(path)?;
 
     let mut config = Config::default();
@@ -308,7 +330,9 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
     }
     let degraded = r.levels.iter().filter(|l| l.matcher_degraded).count();
     if degraded > 0 {
-        println!("warning:      matcher watchdog degraded {degraded} level(s) to sequential completion");
+        println!(
+            "warning:      matcher watchdog degraded {degraded} level(s) to sequential completion"
+        );
     }
     if let Some(out) = f.get("--assignments") {
         let mut w = std::io::BufWriter::new(std::fs::File::create(out)?);
@@ -323,7 +347,9 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
 fn cmd_stats(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed("stats", &[])?;
-    let path = f.positional(0).ok_or_else(|| usage("stats: missing graph file"))?;
+    let path = f
+        .positional(0)
+        .ok_or_else(|| usage("stats: missing graph file"))?;
     let g = load(path)?;
     let csr = parcomm::graph::Csr::from_graph(&g);
     let d = parcomm::graph::stats::degree_stats(&csr);
@@ -332,7 +358,10 @@ fn cmd_stats(args: &[String]) -> Result<(), PcdError> {
     println!("vertices:      {}", g.num_vertices());
     println!("edges:         {}", g.num_edges());
     println!("total weight:  {}", g.total_weight());
-    println!("degree:        min {} / mean {:.2} / max {}", d.min, d.mean, d.max);
+    println!(
+        "degree:        min {} / mean {:.2} / max {}",
+        d.min, d.mean, d.max
+    );
     println!("isolated:      {}", d.isolated);
     println!("components:    {ncomp}");
     let tri = parcomm::graph::triangles::count_triangles(&csr);
@@ -343,7 +372,11 @@ fn cmd_stats(args: &[String]) -> Result<(), PcdError> {
     println!("degree histogram (log2 bins):");
     for (bin, count) in hist.iter().enumerate() {
         if *count > 0 {
-            println!("  [{:>6}, {:>6}): {count}", 1usize << bin, 1usize << (bin + 1));
+            println!(
+                "  [{:>6}, {:>6}): {count}",
+                1usize << bin,
+                1usize << (bin + 1)
+            );
         }
     }
     Ok(())
@@ -352,8 +385,12 @@ fn cmd_stats(args: &[String]) -> Result<(), PcdError> {
 fn cmd_convert(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed("convert", &[])?;
-    let input = f.positional(0).ok_or_else(|| usage("convert: missing input"))?;
-    let output = f.positional(1).ok_or_else(|| usage("convert: missing output"))?;
+    let input = f
+        .positional(0)
+        .ok_or_else(|| usage("convert: missing input"))?;
+    let output = f
+        .positional(1)
+        .ok_or_else(|| usage("convert: missing output"))?;
     let g = load(input)?;
     parcomm::graph::io::save(&g, std::path::Path::new(output)).map_err(PcdError::from)?;
     println!("converted {input} -> {output}");
@@ -363,9 +400,14 @@ fn cmd_convert(args: &[String]) -> Result<(), PcdError> {
 fn cmd_compare(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed("compare", &[])?;
-    let path = f.positional(0).ok_or_else(|| usage("compare: missing graph file"))?;
+    let path = f
+        .positional(0)
+        .ok_or_else(|| usage("compare: missing graph file"))?;
     let g = load(path)?;
-    println!("{:<20} {:>8} {:>8} {:>9} {:>9}", "method", "Q", "cover", "#comm", "time");
+    println!(
+        "{:<20} {:>8} {:>8} {:>9} {:>9}",
+        "method", "Q", "cover", "#comm", "time"
+    );
     let report = |label: &str, a: &[u32], secs: f64| {
         let (dense, k) = parcomm::metrics::compact_labels(a);
         println!(
@@ -382,7 +424,11 @@ fn cmd_compare(args: &[String]) -> Result<(), PcdError> {
     report("parallel-agglom", &r.assignment, t.elapsed().as_secs_f64());
     let t = std::time::Instant::now();
     let refined = parcomm::core::refine::refine(&g, &r.assignment, 10);
-    report("  + refinement", &refined.assignment, t.elapsed().as_secs_f64());
+    report(
+        "  + refinement",
+        &refined.assignment,
+        t.elapsed().as_secs_f64(),
+    );
     let t = std::time::Instant::now();
     let a = parcomm::baseline::louvain(&g);
     report("louvain (seq)", &a, t.elapsed().as_secs_f64());
@@ -403,7 +449,9 @@ fn cmd_compare(args: &[String]) -> Result<(), PcdError> {
 fn cmd_seed(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed("seed", &["--max-size"])?;
-    let path = f.positional(0).ok_or_else(|| usage("seed: missing graph file"))?;
+    let path = f
+        .positional(0)
+        .ok_or_else(|| usage("seed: missing graph file"))?;
     let seed: u32 = f
         .positional(1)
         .ok_or_else(|| usage("seed: missing seed vertex"))?
@@ -412,10 +460,17 @@ fn cmd_seed(args: &[String]) -> Result<(), PcdError> {
     let max_size: usize = f.parse("--max-size", 1000)?;
     let g = load(path)?;
     if seed as usize >= g.num_vertices() {
-        return Err(usage(format!("seed {seed} out of range (|V| = {})", g.num_vertices())));
+        return Err(usage(format!(
+            "seed {seed} out of range (|V| = {})",
+            g.num_vertices()
+        )));
     }
     let c = parcomm::baseline::seed_expand(&g, seed, max_size);
-    println!("community of vertex {seed}: {} members, conductance {:.4}", c.members.len(), c.conductance);
+    println!(
+        "community of vertex {seed}: {} members, conductance {:.4}",
+        c.members.len(),
+        c.conductance
+    );
     let mut members = c.members;
     members.sort_unstable();
     println!("{members:?}");
@@ -425,7 +480,9 @@ fn cmd_seed(args: &[String]) -> Result<(), PcdError> {
 fn cmd_communities(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed("communities", &["--top"])?;
-    let path = f.positional(0).ok_or_else(|| usage("communities: missing graph file"))?;
+    let path = f
+        .positional(0)
+        .ok_or_else(|| usage("communities: missing graph file"))?;
     let top: usize = f.parse("--top", 20)?;
     let g = load(path)?;
     let r = detect(g.clone(), &Config::default());

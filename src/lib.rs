@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # parcomm — scalable multi-threaded community detection
 //!
 //! A from-scratch Rust reproduction of *Riedy, Meyerhenke, Bader:
@@ -36,8 +37,7 @@ pub use pcd_util as util;
 /// The names most programs need.
 pub mod prelude {
     pub use pcd_core::{
-        detect, try_detect, Config, ContractorKind, Criterion, MatcherKind, Paranoia,
-        ScorerKind,
+        detect, try_detect, Config, ContractorKind, Criterion, MatcherKind, Paranoia, ScorerKind,
     };
     pub use pcd_graph::{Graph, GraphBuilder};
     pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};

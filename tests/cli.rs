@@ -22,7 +22,11 @@ fn gen_stats_detect_roundtrip() {
         .arg(&graph)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("30 vertices"), "{stdout}");
 
@@ -40,7 +44,11 @@ fn gen_stats_detect_roundtrip() {
         .arg(&assignments)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("modularity:"), "{stdout}");
     let lines = std::fs::read_to_string(&assignments).unwrap();
@@ -84,7 +92,12 @@ fn unknown_command_fails() {
 
 #[test]
 fn help_prints_full_usage() {
-    for args in [&["--help"][..], &["-h"][..], &["help"][..], &["detect", "--help"][..]] {
+    for args in [
+        &["--help"][..],
+        &["-h"][..],
+        &["help"][..],
+        &["detect", "--help"][..],
+    ] {
         let out = bin().args(args).output().unwrap();
         assert!(out.status.success(), "{args:?}");
         let stdout = String::from_utf8_lossy(&out.stdout);
@@ -105,7 +118,13 @@ fn no_arguments_prints_usage_and_fails() {
 fn unknown_flag_rejected_with_allowed_list() {
     let dir = tmpdir("unknown-flag");
     let graph = dir.join("k.bin");
-    assert!(bin().args(["gen", "karate", "-o"]).arg(&graph).output().unwrap().status.success());
+    assert!(bin()
+        .args(["gen", "karate", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
     // A typo'd flag must fail loudly, not be silently ignored.
     let out = bin()
         .arg("detect")
@@ -116,11 +135,22 @@ fn unknown_flag_rejected_with_allowed_list() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown flag '--converage'"), "{stderr}");
-    assert!(stderr.contains("--coverage"), "allowed list missing: {stderr}");
+    assert!(
+        stderr.contains("--coverage"),
+        "allowed list missing: {stderr}"
+    );
     // Commands that take no flags reject any flag.
-    let out = bin().arg("stats").arg(&graph).args(["--fast"]).output().unwrap();
+    let out = bin()
+        .arg("stats")
+        .arg(&graph)
+        .args(["--fast"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"), "stats");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag"),
+        "stats"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -128,8 +158,19 @@ fn unknown_flag_rejected_with_allowed_list() {
 fn flag_missing_value_rejected() {
     let dir = tmpdir("missing-value");
     let graph = dir.join("k.bin");
-    assert!(bin().args(["gen", "karate", "-o"]).arg(&graph).output().unwrap().status.success());
-    let out = bin().arg("detect").arg(&graph).args(["--coverage"]).output().unwrap();
+    assert!(bin()
+        .args(["gen", "karate", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--coverage"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -151,7 +192,11 @@ fn detect_with_paranoia_and_watchdog_flags() {
         .args(["--paranoia", "full", "--max-match-rounds", "64"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Bad paranoia level is a structured config error.
     let out = bin()
         .arg("detect")
@@ -215,7 +260,11 @@ fn detect_with_coverage_rule() {
         .args(["--coverage", "0.5", "--threads", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("communities:"), "{stdout}");
 
@@ -224,7 +273,10 @@ fn detect_with_coverage_rule() {
 
 #[test]
 fn missing_file_reports_error() {
-    let out = bin().args(["detect", "/nonexistent/graph.bin"]).output().unwrap();
+    let out = bin()
+        .args(["detect", "/nonexistent/graph.bin"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }
@@ -246,7 +298,11 @@ fn communities_subcommand_reports() {
         .args(["--top", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("communities, Q ="), "{stdout}");
     assert!(stdout.contains("members"), "{stdout}");
@@ -260,7 +316,11 @@ fn seed_subcommand_expands() {
     // Two triangles with a bridge, as a plain edge list.
     std::fs::write(&graph, "0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3\n").unwrap();
     let out = bin().args(["seed"]).arg(&graph).arg("0").output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("community of vertex 0"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
@@ -270,8 +330,19 @@ fn seed_subcommand_expands() {
 fn seed_out_of_range_fails() {
     let dir = tmpdir("seed-oor");
     let graph = dir.join("k.bin");
-    assert!(bin().args(["gen", "karate", "-o"]).arg(&graph).output().unwrap().status.success());
-    let out = bin().args(["seed"]).arg(&graph).arg("999").output().unwrap();
+    assert!(bin()
+        .args(["gen", "karate", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .args(["seed"])
+        .arg(&graph)
+        .arg("999")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
     std::fs::remove_dir_all(&dir).ok();
@@ -289,10 +360,26 @@ fn gen_lfr_and_metis_convert() {
         .status
         .success());
     let metis = dir.join("lfr.metis");
-    let out = bin().arg("convert").arg(&edges).arg(&metis).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("convert")
+        .arg(&edges)
+        .arg(&metis)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Round-trip the METIS file back in.
     let back = dir.join("back.edges");
-    assert!(bin().arg("convert").arg(&metis).arg(&back).output().unwrap().status.success());
+    assert!(bin()
+        .arg("convert")
+        .arg(&metis)
+        .arg(&back)
+        .output()
+        .unwrap()
+        .status
+        .success());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -15,8 +15,7 @@ fn multilevel_improves_lfr_quality() {
     let q_plain = plain.modularity;
     let q_ml = parcomm::metrics::modularity(&lfr.graph, &ml.assignment);
     assert!(q_ml >= q_plain - 1e-9, "{q_ml} vs {q_plain}");
-    let nmi_plain =
-        normalized_mutual_information(&plain.assignment, &lfr.ground_truth);
+    let nmi_plain = normalized_mutual_information(&plain.assignment, &lfr.ground_truth);
     let nmi_ml = normalized_mutual_information(&ml.assignment, &lfr.ground_truth);
     assert!(
         nmi_ml >= nmi_plain - 0.05,
@@ -72,7 +71,10 @@ fn extracted_subgraphs_have_low_conductance() {
     // Detected communities are denser inside than out, in aggregate.
     let internal: u64 = subs.iter().map(|s| s.graph.total_weight()).sum();
     let external: u64 = subs.iter().map(|s| s.external_weight).sum();
-    assert!(internal > external, "internal {internal} external {external}");
+    assert!(
+        internal > external,
+        "internal {internal} external {external}"
+    );
 }
 
 #[test]
@@ -92,20 +94,19 @@ fn seed_expansion_returns_whole_cliques() {
     assert_eq!(local.members.len() % 8, 0, "partial clique returned");
     // And the cut is the two ring bridges.
     let vol = local.members.len() as f64 / 8.0 * 58.0; // per-clique volume
-    assert!((local.conductance - 2.0 / vol).abs() < 1e-9, "phi = {}", local.conductance);
+    assert!(
+        (local.conductance - 2.0 / vol).abs() < 1e-9,
+        "phi = {}",
+        local.conductance
+    );
 }
 
 #[test]
 fn parallel_louvain_consistent_with_sequential_quality() {
     let lfr = parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(3_000, 0.2, 11));
-    let q_seq = parcomm::metrics::modularity(
-        &lfr.graph,
-        &parcomm::baseline::louvain(&lfr.graph),
-    );
-    let q_par = parcomm::metrics::modularity(
-        &lfr.graph,
-        &parcomm::baseline::louvain_parallel(&lfr.graph),
-    );
+    let q_seq = parcomm::metrics::modularity(&lfr.graph, &parcomm::baseline::louvain(&lfr.graph));
+    let q_par =
+        parcomm::metrics::modularity(&lfr.graph, &parcomm::baseline::louvain_parallel(&lfr.graph));
     assert!((q_seq - q_par).abs() < 0.1, "{q_seq} vs {q_par}");
 }
 

@@ -19,18 +19,23 @@ fn faulted(fault: FaultPlan, paranoia: Paranoia) -> Result<(), (usize, Phase, St
     cfg.fault = fault;
     match try_detect(test_graph(), &cfg) {
         Ok(_) => Ok(()),
-        Err(PcdError::InvariantViolation { level, phase, detail }) => {
-            Err((level, phase, detail))
-        }
+        Err(PcdError::InvariantViolation {
+            level,
+            phase,
+            detail,
+        }) => Err((level, phase, detail)),
         Err(other) => panic!("expected an invariant violation, got: {other}"),
     }
 }
 
 #[test]
 fn nan_score_caught_by_cheap_guard() {
-    let fault = FaultPlan { nan_score_at_level: Some(1), ..FaultPlan::default() };
-    let (level, phase, detail) = faulted(fault, Paranoia::Cheap)
-        .expect_err("NaN score must trip the finiteness guard");
+    let fault = FaultPlan {
+        nan_score_at_level: Some(1),
+        ..FaultPlan::default()
+    };
+    let (level, phase, detail) =
+        faulted(fault, Paranoia::Cheap).expect_err("NaN score must trip the finiteness guard");
     assert_eq!(level, 1);
     assert_eq!(phase, Phase::Score);
     assert!(detail.contains("NaN"), "{detail}");
@@ -38,16 +43,22 @@ fn nan_score_caught_by_cheap_guard() {
 
 #[test]
 fn nan_score_at_deeper_level_reports_that_level() {
-    let fault = FaultPlan { nan_score_at_level: Some(2), ..FaultPlan::default() };
-    let (level, phase, _) = faulted(fault, Paranoia::Full)
-        .expect_err("NaN score at level 2 must trip the guard there");
+    let fault = FaultPlan {
+        nan_score_at_level: Some(2),
+        ..FaultPlan::default()
+    };
+    let (level, phase, _) =
+        faulted(fault, Paranoia::Full).expect_err("NaN score at level 2 must trip the guard there");
     assert_eq!(level, 2);
     assert_eq!(phase, Phase::Score);
 }
 
 #[test]
 fn duplicate_match_caught_by_full_guard() {
-    let fault = FaultPlan { duplicate_match_at_level: Some(1), ..FaultPlan::default() };
+    let fault = FaultPlan {
+        duplicate_match_at_level: Some(1),
+        ..FaultPlan::default()
+    };
     let (level, phase, detail) = faulted(fault, Paranoia::Full)
         .expect_err("a duplicated matched edge must fail matching verification");
     assert_eq!(level, 1);
@@ -60,21 +71,30 @@ fn duplicate_match_also_caught_downstream_by_cheap_conservation() {
     // Cheap paranoia skips verify_matching, but the duplicated edge's
     // weight is folded into the contracted self-loops twice — the
     // conservation ledger in the contract phase still notices.
-    let fault = FaultPlan { duplicate_match_at_level: Some(1), ..FaultPlan::default() };
-    let (level, phase, _) = faulted(fault, Paranoia::Cheap)
-        .expect_err("double-folded weight must break conservation");
+    let fault = FaultPlan {
+        duplicate_match_at_level: Some(1),
+        ..FaultPlan::default()
+    };
+    let (level, phase, _) =
+        faulted(fault, Paranoia::Cheap).expect_err("double-folded weight must break conservation");
     assert_eq!(level, 1);
     assert_eq!(phase, Phase::Contract);
 }
 
 #[test]
 fn dropped_weight_caught_by_cheap_guard() {
-    let fault = FaultPlan { drop_weight_at_level: Some(1), ..FaultPlan::default() };
+    let fault = FaultPlan {
+        drop_weight_at_level: Some(1),
+        ..FaultPlan::default()
+    };
     let (level, phase, detail) = faulted(fault, Paranoia::Cheap)
         .expect_err("a lost unit of edge weight must break conservation");
     assert_eq!(level, 1);
     assert_eq!(phase, Phase::Contract);
-    assert!(detail.contains("conserved") || detail.contains("internal"), "{detail}");
+    assert!(
+        detail.contains("conserved") || detail.contains("internal"),
+        "{detail}"
+    );
 }
 
 #[test]
@@ -85,13 +105,23 @@ fn faults_sail_through_with_paranoia_off() {
     // maximality debug assertion, which is exactly why the Cheap guard
     // exists.)
     for fault in [
-        FaultPlan { duplicate_match_at_level: Some(1), ..FaultPlan::default() },
-        FaultPlan { drop_weight_at_level: Some(1), ..FaultPlan::default() },
+        FaultPlan {
+            duplicate_match_at_level: Some(1),
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            drop_weight_at_level: Some(1),
+            ..FaultPlan::default()
+        },
     ] {
         let mut cfg = Config::default();
         cfg.fault = fault.clone();
         let r = try_detect(test_graph(), &cfg);
-        assert!(r.is_ok(), "paranoia off must not catch {fault:?}: {:?}", r.err());
+        assert!(
+            r.is_ok(),
+            "paranoia off must not catch {fault:?}: {:?}",
+            r.err()
+        );
     }
 }
 

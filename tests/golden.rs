@@ -33,7 +33,10 @@ fn rmat_10_seed_7_golden() {
     // coverage reaches 0.5 (R-MAT has little community structure) — lock
     // that behaviour in.
     let r = detect(g, &Config::paper_performance());
-    assert_eq!(r.stop_reason, parcomm::core::result::StopReason::LocalMaximum);
+    assert_eq!(
+        r.stop_reason,
+        parcomm::core::result::StopReason::LocalMaximum
+    );
     assert!(r.coverage < 0.5, "coverage = {}", r.coverage);
 }
 

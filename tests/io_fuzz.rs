@@ -12,8 +12,14 @@ use proptest::prelude::*;
 #[test]
 fn corrupt_edge_list_corpus_rejected() {
     let corpus: &[(&str, &str)] = &[
-        ("4294967295 0\n", "id == u32::MAX collides with the NO_VERTEX sentinel"),
-        ("4294967294 0\n4294967295 1\n", "second line overflows the id space"),
+        (
+            "4294967295 0\n",
+            "id == u32::MAX collides with the NO_VERTEX sentinel",
+        ),
+        (
+            "4294967294 0\n4294967295 1\n",
+            "second line overflows the id space",
+        ),
         ("99999999999999 3\n", "id far beyond u32"),
         ("-1 2\n", "negative id"),
         ("0 1 -5\n", "negative weight"),

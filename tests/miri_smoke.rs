@@ -1,0 +1,55 @@
+//! Miri smoke test: a tiny end-to-end detection sized so that
+//! `cargo +nightly miri test --test miri_smoke` finishes in minutes.
+//!
+//! Purpose: run the full kernel stack — including the `as_atomic_*` slice
+//! reinterprets in `pcd_util::sync` and the disjoint-range raw-pointer
+//! writes in CSR build/contraction — under Miri's aliasing and data-race
+//! checkers. Graph sizes here are deliberately minuscule; quality is
+//! asserted only loosely. The same tests run (fast) under plain
+//! `cargo test` so the file cannot silently rot.
+
+use parcomm::prelude::*;
+use parcomm::util::pool::with_threads;
+
+/// Two triangles joined by one bridge edge: the smallest graph where the
+/// matcher, contraction, and refinement all do non-trivial work.
+fn two_triangles() -> Graph {
+    GraphBuilder::new(6)
+        .add_pairs([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        .build()
+}
+
+#[test]
+fn tiny_detection_under_two_threads() {
+    let r = with_threads(2, || detect(two_triangles(), &Config::default()));
+    assert_eq!(r.assignment.len(), 6);
+    // The two triangles must not be merged into one community.
+    assert!(r.num_communities >= 2);
+    assert_eq!(r.assignment[0], r.assignment[1]);
+    assert_eq!(r.assignment[3], r.assignment[5]);
+    assert!(r.modularity > 0.0);
+}
+
+#[test]
+fn atomic_reinterpret_histogram() {
+    // Directly exercises `as_atomic_u64`/`as_atomic_u32` shared-view
+    // writes from a rayon region — the exact pattern Miri's stacked
+    // borrows must accept (UnsafeCell grants SharedReadWrite).
+    use parcomm::util::sync::{as_atomic_u32, as_atomic_u64, RELAXED};
+    use rayon::prelude::*;
+
+    with_threads(2, || {
+        let mut counts = vec![0u64; 4];
+        let mut marks = vec![0u32; 4];
+        {
+            let c = as_atomic_u64(&mut counts);
+            let m = as_atomic_u32(&mut marks);
+            (0..16u64).into_par_iter().for_each(|i| {
+                c[(i % 4) as usize].fetch_add(i, RELAXED);
+                m[(i % 4) as usize].store(1, RELAXED);
+            });
+        }
+        assert_eq!(counts.iter().sum::<u64>(), (0..16).sum());
+        assert_eq!(marks, vec![1; 4]);
+    });
+}

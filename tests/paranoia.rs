@@ -68,7 +68,10 @@ fn watchdog_expiry_degrades_gracefully_end_to_end() {
         .with_max_match_rounds(1)
         .with_paranoia(Paranoia::Full);
     let r = try_detect(g, &cfg).expect("degraded run must still complete");
-    assert!(r.levels[0].matcher_degraded, "level 1 needs 2 rounds; cap is 1");
+    assert!(
+        r.levels[0].matcher_degraded,
+        "level 1 needs 2 rounds; cap is 1"
+    );
     assert_eq!(r.levels[0].match_rounds, 1);
     // The degraded matching still merged both pairs: {2,6} and {4,8}.
     assert_eq!(r.levels[0].pairs_merged, 2);

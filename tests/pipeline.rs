@@ -1,8 +1,8 @@
 //! End-to-end integration tests across the whole stack:
 //! generators → graph → scoring → matching → contraction → metrics.
 
-use parcomm::prelude::*;
 use parcomm::core::{Criterion as Stop, MatcherKind};
+use parcomm::prelude::*;
 
 #[test]
 fn level_prefixes_are_consistent() {
@@ -11,7 +11,10 @@ fn level_prefixes_are_consistent() {
     let g = parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(11, 3));
     let full = detect(g.clone(), &Config::default());
     for k in 1..=3.min(full.levels.len()) {
-        let partial = detect(g.clone(), &Config::default().with_criterion(Stop::MaxLevels(k)));
+        let partial = detect(
+            g.clone(),
+            &Config::default().with_criterion(Stop::MaxLevels(k)),
+        );
         assert_eq!(partial.levels.len(), k);
         for (a, b) in partial.levels.iter().zip(full.levels.iter()) {
             assert_eq!(a.pairs_merged, b.pairs_merged, "level {}", a.level);
@@ -47,7 +50,10 @@ fn weight_conserved_at_every_level() {
     let m0 = g.total_weight();
     // Run level by level and verify the community graph at each stop.
     for k in 1..=4 {
-        let r = detect(g.clone(), &Config::default().with_criterion(Stop::MaxLevels(k)));
+        let r = detect(
+            g.clone(),
+            &Config::default().with_criterion(Stop::MaxLevels(k)),
+        );
         assert_eq!(r.community_graph.total_weight(), m0, "level {k}");
         assert_eq!(r.community_graph.validate(), Ok(()));
         if r.levels.len() < k {
@@ -84,11 +90,7 @@ fn matchers_give_same_quality_class() {
         &Config::default().with_matcher(MatcherKind::EdgeSweep),
     )
     .modularity;
-    let q_seq = detect(
-        g,
-        &Config::default().with_matcher(MatcherKind::Sequential),
-    )
-    .modularity;
+    let q_seq = detect(g, &Config::default().with_matcher(MatcherKind::Sequential)).modularity;
     for (name, q) in [("old", q_old), ("seq", q_seq)] {
         assert!(
             (q - q_new).abs() < 0.15,

@@ -10,10 +10,7 @@ use proptest::prelude::*;
 /// Strategy: a vertex count and an arbitrary weighted edge multiset.
 fn arb_graph_input() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (2usize..40).prop_flat_map(|nv| {
-        let edges = proptest::collection::vec(
-            (0..nv as u32, 0..nv as u32, 1u64..4),
-            0..120,
-        );
+        let edges = proptest::collection::vec((0..nv as u32, 0..nv as u32, 1u64..4), 0..120);
         (Just(nv), edges)
     })
 }

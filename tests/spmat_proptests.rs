@@ -5,11 +5,8 @@ use proptest::prelude::*;
 
 fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
     (1usize..12, 1usize..12).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows as u32, 0..cols as u32, 1u64..5),
-            0..40,
-        )
-        .prop_map(move |t| CsrMatrix::from_triplets(rows, cols, t))
+        proptest::collection::vec((0..rows as u32, 0..cols as u32, 1u64..5), 0..40)
+            .prop_map(move |t| CsrMatrix::from_triplets(rows, cols, t))
     })
 }
 

@@ -1,0 +1,11 @@
+//! Loom harness for the workspace sync shim.
+//!
+//! The shim source is included verbatim by path so the model checker
+//! exercises the exact code the kernels run — not a copy that can drift.
+//! `crates/util/src/sync.rs` is deliberately dependency-free to make this
+//! possible. Under `RUSTFLAGS="--cfg loom"` the shim re-exports
+//! `loom::sync::atomic` types and the models in `tests/models.rs` run;
+//! without it this crate is an empty shell.
+
+#[path = "../../../crates/util/src/sync.rs"]
+pub mod sync;
