@@ -1,11 +1,15 @@
 //! Benchmarks for the graph-algorithm substrate beyond the detection
 //! kernels: BFS, connected components, triangle counting, reordering and
-//! community extraction.
+//! community extraction — plus element-throughput numbers for the three
+//! level-loop kernels on their zero-allocation scratch entry points
+//! (edges/second comparable to the paper's Table III rates).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pcd_core::{detect, Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcd_contract::{bucket, ContractScratch, Placement};
+use pcd_core::{detect, score_all_into, Config, ScoreContext, ScorerKind};
 use pcd_gen::{rmat_graph, RmatParams};
-use pcd_graph::{bfs, components, extract, reorder, triangles, Csr};
+use pcd_graph::{bfs, components, extract, reorder, triangles, Csr, GraphParts};
+use pcd_matching::parallel::{match_unmatched_list_scratch, MatchScratch};
 
 fn bench_graphops(c: &mut Criterion) {
     let mut group = c.benchmark_group("graphops");
@@ -49,5 +53,55 @@ fn bench_spmat(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graphops, bench_spmat);
+/// The three §III kernels through their scratch-arena entry points, with
+/// criterion element throughput: every kernel touches each edge O(1)
+/// times, so edges/iteration is the honest work unit. After the first
+/// iteration warms the arenas these loops run allocation-free, so the
+/// numbers isolate kernel arithmetic from allocator traffic.
+fn bench_kernel_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel-throughput");
+    group.sample_size(10);
+    for scale in [12u32, 14] {
+        let g = rmat_graph(&RmatParams::paper(scale, 42));
+        let ne = g.num_edges() as u64;
+        group.throughput(Throughput::Elements(ne));
+
+        let ctx = ScoreContext::new(&g);
+        let mut scores = Vec::new();
+        group.bench_with_input(BenchmarkId::new("score", scale), &(), |b, _| {
+            b.iter(|| score_all_into(ScorerKind::Modularity, &g, &ctx, &mut scores));
+        });
+
+        score_all_into(ScorerKind::Modularity, &g, &ctx, &mut scores);
+        let mut mscratch = MatchScratch::new();
+        group.bench_with_input(BenchmarkId::new("match", scale), &(), |b, _| {
+            b.iter(|| {
+                let outcome = match_unmatched_list_scratch(&g, &scores, usize::MAX, &mut mscratch);
+                let rounds = outcome.rounds;
+                mscratch.recycle(outcome.matching);
+                rounds
+            });
+        });
+
+        let m = match_unmatched_list_scratch(&g, &scores, usize::MAX, &mut mscratch).matching;
+        let mut cscratch = ContractScratch::new();
+        let mut parts = GraphParts::default();
+        group.bench_with_input(BenchmarkId::new("contract", scale), &(), |b, _| {
+            b.iter(|| {
+                let (next, num_new) = bucket::contract_into(
+                    &g,
+                    &m,
+                    Placement::PrefixSum,
+                    &mut cscratch,
+                    std::mem::take(&mut parts),
+                );
+                parts = next.into_parts();
+                num_new
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphops, bench_spmat, bench_kernel_throughput);
 criterion_main!(benches);

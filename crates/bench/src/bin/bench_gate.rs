@@ -1,0 +1,322 @@
+//! JSON benchmark gate for the zero-allocation level loop.
+//!
+//! Runs end-to-end detection on pinned R-MAT and SBM instances across a
+//! set of thread counts, with both level-loop arms — scratch **reuse**
+//! (the default, retained arenas + graph ping-pong) and **fresh** (the
+//! ablation that rebuilds every buffer each level) — and writes a single
+//! machine-readable JSON report. `cargo xtask bench` wraps this binary,
+//! validates the schema, and compares the report against the previous
+//! checked-in `BENCH_*.json` with a configurable regression threshold.
+//!
+//! Schema (`parcomm-bench-v1`): one top-level object with `schema`,
+//! `label`, `created_unix`, `host` (thread count, alloc-stats on/off) and
+//! `results`, an array of records keyed by (`instance`, `threads`, `arm`)
+//! carrying min/median/max end-to-end seconds, per-kernel phase sums
+//! (score/match/contract), level count, modularity, peak RSS, and — when
+//! built with `--features alloc-stats` — the heap allocation count of the
+//! measured run (`null` otherwise).
+//!
+//! Everything is emitted by hand: the harness must build without serde or
+//! any other registry dependency.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use pcd_core::{detect, Config, DetectionResult};
+use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
+use pcd_graph::Graph;
+use pcd_util::pool::with_threads;
+use pcd_util::timing::{RunStats, Timer};
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static ALLOC: pcd_util::alloc_stats::CountingAlloc = pcd_util::alloc_stats::CountingAlloc;
+
+/// Pinned instance seed: every report benchmarks bit-identical graphs.
+const SEED: u64 = 42;
+
+struct Args {
+    /// R-MAT scale (2^scale vertices); the acceptance run uses 20.
+    rmat_scale: u32,
+    /// SBM vertex count.
+    sbm_vertices: usize,
+    threads: Vec<usize>,
+    runs: usize,
+    label: String,
+    out: String,
+    /// Tiny instances, one thread, one run: schema/plumbing check only.
+    smoke: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut a = Args {
+            rmat_scale: 16,
+            sbm_vertices: 60_000,
+            threads: vec![1, 2, 8],
+            runs: 3,
+            label: "pr3".into(),
+            out: String::new(),
+            smoke: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => a.rmat_scale = num(&val("--scale")?)?,
+                "--sbm-vertices" => a.sbm_vertices = num(&val("--sbm-vertices")?)?,
+                "--threads" => {
+                    a.threads = val("--threads")?
+                        .split(',')
+                        .map(num)
+                        .collect::<Result<_, _>>()?;
+                }
+                "--runs" => a.runs = num(&val("--runs")?)?,
+                "--label" => a.label = val("--label")?,
+                "--out" => a.out = val("--out")?,
+                "--smoke" => a.smoke = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if a.smoke {
+            a.rmat_scale = 8;
+            a.sbm_vertices = 600;
+            a.threads = vec![1];
+            a.runs = 1;
+        }
+        if a.out.is_empty() {
+            a.out = format!("BENCH_{}.json", a.label);
+        }
+        if a.threads.is_empty() || a.runs == 0 {
+            return Err("need at least one thread count and one run".into());
+        }
+        Ok(a)
+    }
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number: {s}"))
+}
+
+/// One measured (instance, threads, arm) cell.
+struct Record {
+    instance: String,
+    input_edges: usize,
+    threads: usize,
+    arm: &'static str,
+    end_to_end: RunStats,
+    score_secs: f64,
+    match_secs: f64,
+    contract_secs: f64,
+    levels: usize,
+    modularity: f64,
+    peak_rss_bytes: Option<u64>,
+    allocations: Option<u64>,
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            eprintln!(
+                "usage: bench_gate [--scale N] [--sbm-vertices N] [--threads 1,2,8] \
+                 [--runs N] [--label L] [--out FILE] [--smoke]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "bench_gate: building instances (rmat scale {}, sbm {} vertices)...",
+        args.rmat_scale, args.sbm_vertices
+    );
+    let instances: Vec<(String, Graph)> = vec![
+        (
+            format!("rmat-{}-16", args.rmat_scale),
+            rmat_graph(&RmatParams::paper(args.rmat_scale, SEED)),
+        ),
+        (
+            format!("sbm-lj-{}", args.sbm_vertices),
+            sbm_graph(&SbmParams::livejournal_like(args.sbm_vertices, SEED + 1)).graph,
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for (name, g) in &instances {
+        for &t in &args.threads {
+            for (arm, reuse) in [("reuse", true), ("fresh", false)] {
+                records.push(measure(name, g, t, arm, reuse, args.runs));
+                let r = records.last().unwrap();
+                eprintln!(
+                    "  {name} t={t} {arm}: median {:.4}s (score {:.4} match {:.4} contract {:.4})",
+                    r.end_to_end.median(),
+                    r.score_secs,
+                    r.match_secs,
+                    r.contract_secs
+                );
+            }
+        }
+    }
+
+    let json = render(&args, &instances, &records);
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("bench_gate: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_gate: wrote {}", args.out);
+    ExitCode::SUCCESS
+}
+
+fn measure(name: &str, g: &Graph, threads: usize, arm: &'static str, reuse: bool, runs: usize) -> Record {
+    let cfg = Config::default().with_scratch_reuse(reuse);
+    let mut samples = Vec::with_capacity(runs);
+    let mut last: Option<DetectionResult> = None;
+    let mut allocations = None;
+    for _ in 0..runs {
+        let graph = g.clone();
+        let cfg = cfg.clone();
+        let before = alloc_count();
+        let timer = Timer::start();
+        let result = with_threads(threads, move || detect(graph, &cfg));
+        samples.push(timer.elapsed_secs());
+        allocations = alloc_count().zip(before).map(|(a, b)| a - b);
+        last = Some(result);
+    }
+    let result = last.expect("runs >= 1");
+    Record {
+        instance: name.into(),
+        input_edges: g.num_edges(),
+        threads,
+        arm,
+        end_to_end: RunStats::new(samples),
+        score_secs: result.levels.iter().map(|l| l.score_secs).sum(),
+        match_secs: result.levels.iter().map(|l| l.match_secs).sum(),
+        contract_secs: result.levels.iter().map(|l| l.contract_secs).sum(),
+        levels: result.levels.len(),
+        modularity: result.modularity,
+        peak_rss_bytes: peak_rss_bytes(),
+        allocations,
+    }
+}
+
+/// Heap allocation count so far, when the counting allocator is installed.
+fn alloc_count() -> Option<u64> {
+    #[cfg(feature = "alloc-stats")]
+    {
+        Some(pcd_util::alloc_stats::snapshot().allocations)
+    }
+    #[cfg(not(feature = "alloc-stats"))]
+    {
+        None
+    }
+}
+
+/// Peak resident set size from `/proc/self/status` (`VmHWM`, kibibytes).
+/// Process-global high-water mark: later cells can only report values at
+/// least as large as earlier ones, so cross-cell RSS comparisons within
+/// one report are upper bounds, not deltas.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+fn render(args: &Args, instances: &[(String, Graph)], records: &[Record]) -> String {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"parcomm-bench-v1\",");
+    let _ = writeln!(s, "  \"label\": {},", json_str(&args.label));
+    let _ = writeln!(s, "  \"created_unix\": {created},");
+    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
+    s.push_str("  \"host\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let _ = writeln!(s, "    \"alloc_stats\": {}", cfg!(feature = "alloc-stats"));
+    s.push_str("  },\n");
+    s.push_str("  \"instances\": [\n");
+    for (i, (name, g)) in instances.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": {}, \"vertices\": {}, \"edges\": {}}}",
+            json_str(name),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        s.push_str(if i + 1 < instances.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"instance\": {},", json_str(&r.instance));
+        let _ = writeln!(s, "      \"threads\": {},", r.threads);
+        let _ = writeln!(s, "      \"arm\": {},", json_str(r.arm));
+        let _ = writeln!(s, "      \"runs\": {},", r.end_to_end.samples.len());
+        let _ = writeln!(
+            s,
+            "      \"end_to_end_secs\": {{\"min\": {}, \"median\": {}, \"max\": {}}},",
+            json_f64(r.end_to_end.min()),
+            json_f64(r.end_to_end.median()),
+            json_f64(r.end_to_end.max())
+        );
+        let _ = writeln!(s, "      \"score_secs\": {},", json_f64(r.score_secs));
+        let _ = writeln!(s, "      \"match_secs\": {},", json_f64(r.match_secs));
+        let _ = writeln!(s, "      \"contract_secs\": {},", json_f64(r.contract_secs));
+        let _ = writeln!(s, "      \"levels\": {},", r.levels);
+        let _ = writeln!(s, "      \"modularity\": {},", json_f64(r.modularity));
+        let _ = writeln!(
+            s,
+            "      \"input_edges_per_sec\": {},",
+            json_f64(r.input_edges as f64 / r.end_to_end.min())
+        );
+        let _ = writeln!(s, "      \"peak_rss_bytes\": {},", json_opt(r.peak_rss_bytes));
+        let _ = writeln!(s, "      \"allocations\": {}", json_opt(r.allocations));
+        s.push_str("    }");
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// JSON string literal (the harness only emits ASCII names, but escape
+/// defensively anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats only: JSON has no NaN/Inf, map them to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |n| n.to_string())
+}

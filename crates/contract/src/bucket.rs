@@ -13,11 +13,14 @@
 //! 4. **Compact** the shortened buckets into dense storage ("copied back
 //!    out into the original graph's storage").
 
-use crate::{contracted_self_loops, relabel_from_matching, Contraction};
-use pcd_graph::{canonical_order, Graph};
+use crate::{contracted_self_loops_into, relabel_into, Contraction};
+use pcd_graph::{canonical_order, Graph, GraphParts};
 use pcd_matching::Matching;
-use pcd_util::scan::offsets_from_counts;
-use pcd_util::sync::{as_atomic_u32, as_atomic_u64, AtomicUsize, RELAXED};
+use pcd_util::scan::exclusive_prefix_sum;
+use pcd_util::sync::{
+    as_atomic_u32, as_atomic_u64, as_atomic_usize, AtomicUsize, SendPtr, RELAXED,
+};
+use pcd_util::VertexId;
 
 use rayon::prelude::*;
 
@@ -44,36 +47,128 @@ pub fn contract(g: &Graph, m: &Matching) -> Contraction {
 }
 
 /// Contracts `g` along matching `m` with an explicit placement policy.
+///
+/// Owning convenience wrapper over [`contract_into`]: allocates a fresh
+/// [`ContractScratch`] and empty output storage per call. The driver's
+/// level loop uses [`contract_into`] directly; this entry point stays for
+/// ablations, oracles, and one-shot callers.
 pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Contraction {
-    let (new_of_old, num_new) = relabel_from_matching(g, m);
-    let mut self_loop = contracted_self_loops(g, m, &new_of_old, num_new);
+    let mut scratch = ContractScratch::new();
+    let (graph, num_new) = contract_into(g, m, placement, &mut scratch, GraphParts::default());
+    Contraction {
+        graph,
+        new_of_old: scratch.take_new_of_old(),
+        num_new,
+    }
+}
+
+/// Reusable working storage for [`contract_into`]: the relabel map and its
+/// prefix-sum buffer, the matched-edge bitset, relabelled endpoints, bucket
+/// counts/offsets/cursors, the bucketed temp arrays, and the shortened
+/// bucket lengths. Every buffer is cleared and logically resized per call;
+/// capacity only grows, so steady-state contraction allocates nothing.
+#[derive(Debug, Default)]
+pub struct ContractScratch {
+    is_leader: Vec<usize>,
+    new_of_old: Vec<VertexId>,
+    matched_bits: Vec<u64>,
+    new_src: Vec<u32>,
+    new_dst: Vec<u32>,
+    counts: Vec<usize>,
+    bucket_off: Vec<usize>,
+    cursor: Vec<usize>,
+    tmp_dst: Vec<u32>,
+    tmp_w: Vec<u64>,
+    uniq: Vec<usize>,
+    final_off: Vec<usize>,
+}
+
+impl ContractScratch {
+    /// A scratch with no retained capacity.
+    pub fn new() -> Self {
+        ContractScratch::default()
+    }
+
+    /// The old→new community map of the most recent [`contract_into`] call.
+    pub fn new_of_old(&self) -> &[VertexId] {
+        &self.new_of_old
+    }
+
+    /// Moves the old→new map out (for callers assembling a [`Contraction`]).
+    pub fn take_new_of_old(&mut self) -> Vec<VertexId> {
+        std::mem::take(&mut self.new_of_old)
+    }
+
+    /// Puts an old→new map back (fault-injection harness round-trip).
+    pub fn set_new_of_old(&mut self, map: Vec<VertexId>) {
+        self.new_of_old = map;
+    }
+}
+
+/// Contracts `g` along matching `m`, scattering the result into recycled
+/// storage: `parts` supplies the output graph's six arrays (their capacity
+/// is reused; contents are overwritten) and `scratch` every intermediate
+/// buffer. Returns the contracted graph and `num_new`; the old→new map is
+/// left in `scratch` ([`ContractScratch::new_of_old`]).
+///
+/// The emitted graph is bit-identical to [`contract_with_policy`]'s for
+/// either placement policy and any thread count. Total weight is conserved
+/// by construction, so the output graph inherits the parent's total
+/// without a reduction pass (debug builds re-verify).
+pub fn contract_into(
+    g: &Graph,
+    m: &Matching,
+    placement: Placement,
+    scratch: &mut ContractScratch,
+    mut parts: GraphParts,
+) -> (Graph, usize) {
+    let ContractScratch {
+        is_leader,
+        new_of_old,
+        matched_bits,
+        new_src,
+        new_dst,
+        counts,
+        bucket_off,
+        cursor,
+        tmp_dst,
+        tmp_w,
+        uniq,
+        final_off,
+    } = scratch;
+
+    let num_new = relabel_into(g, m, is_leader, new_of_old);
+    contracted_self_loops_into(g, m, new_of_old, num_new, &mut parts.self_loop);
+    let new_of_old: &[VertexId] = new_of_old;
 
     let ne = g.num_edges();
 
     // Phase 1: relabel + re-canonicalise. Dead edges (now internal to a new
     // vertex) are marked with NO_VERTEX and their weight folded into the
     // self-loop array. Matched edges were already folded by
-    // `contracted_self_loops`, so they are simply marked dead here.
-    let matched: Vec<bool> = {
-        let mut v = vec![false; ne];
-        for &e in m.matched_edges() {
-            v[e] = true;
-        }
-        v
-    };
-    let mut new_src = vec![0u32; ne];
-    let mut new_dst = vec![0u32; ne];
+    // `contracted_self_loops_into`, so they are simply marked dead here.
+    // Membership lives in a bitset: |E|/64 words instead of |E| bools.
+    matched_bits.clear();
+    matched_bits.resize(ne.div_ceil(64), 0);
+    for &e in m.matched_edges() {
+        matched_bits[e >> 6] |= 1 << (e & 63);
+    }
+    let matched = |e: usize| matched_bits[e >> 6] >> (e & 63) & 1 == 1;
+    new_src.clear();
+    new_src.resize(ne, 0);
+    new_dst.clear();
+    new_dst.resize(ne, 0);
     {
-        let src_c = as_atomic_u32(&mut new_src);
-        let dst_c = as_atomic_u32(&mut new_dst);
-        let self_c = as_atomic_u64(&mut self_loop);
+        let src_c = as_atomic_u32(new_src);
+        let dst_c = as_atomic_u32(new_dst);
+        let self_c = as_atomic_u64(&mut parts.self_loop);
         (0..ne).into_par_iter().for_each(|e| {
             let (i, j, w) = g.edge(e);
             let (ni, nj) = (new_of_old[i as usize], new_of_old[j as usize]);
             if ni == nj {
                 // Internal to a merged pair. The matched edge itself was
                 // already folded; any other coinciding edge folds here.
-                if !matched[e] {
+                if !matched(e) {
                     self_c[ni as usize].fetch_add(w, RELAXED);
                 }
                 src_c[e].store(pcd_util::NO_VERTEX, RELAXED);
@@ -84,53 +179,65 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
             }
         });
     }
+    let new_src: &[u32] = new_src;
+    let new_dst: &[u32] = new_dst;
 
     // Phase 2: size buckets.
-    let counts: Vec<AtomicUsize> = (0..num_new).map(|_| AtomicUsize::new(0)).collect();
-    (0..ne).into_par_iter().for_each(|e| {
-        let s = new_src[e];
-        if s != pcd_util::NO_VERTEX {
-            counts[s as usize].fetch_add(1, RELAXED);
-        }
-    });
-    let counts: Vec<usize> = counts.into_iter().map(|c| c.into_inner()).collect();
+    counts.clear();
+    counts.resize(num_new, 0);
+    {
+        let cells = as_atomic_usize(counts);
+        (0..ne).into_par_iter().for_each(|e| {
+            let s = new_src[e];
+            if s != pcd_util::NO_VERTEX {
+                cells[s as usize].fetch_add(1, RELAXED);
+            }
+        });
+    }
+    let counts: &[usize] = counts;
     let live: usize = counts.iter().sum();
 
     // Bucket offsets per placement policy.
-    let bucket_off: Vec<usize> = match placement {
+    match placement {
         Placement::PrefixSum => {
-            let off = offsets_from_counts(&counts);
-            off[..num_new].to_vec()
+            bucket_off.clear();
+            bucket_off.extend_from_slice(counts);
+            exclusive_prefix_sum(bucket_off);
         }
         Placement::FetchAdd => {
             // One global cursor; buckets claim their extent on first touch
             // by any thread, in arrival order.
-            let cursor = AtomicUsize::new(0);
-            let off: Vec<AtomicUsize> =
-                (0..num_new).map(|_| AtomicUsize::new(usize::MAX)).collect();
+            bucket_off.clear();
+            bucket_off.resize(num_new, usize::MAX);
+            let global = AtomicUsize::new(0);
+            let off = as_atomic_usize(bucket_off);
             (0..num_new).into_par_iter().for_each(|v| {
                 if counts[v] > 0 {
-                    let at = cursor.fetch_add(counts[v], RELAXED);
+                    let at = global.fetch_add(counts[v], RELAXED);
                     off[v].store(at, RELAXED);
                 } else {
                     off[v].store(0, RELAXED);
                 }
             });
-            off.into_iter().map(|o| o.into_inner()).collect()
         }
-    };
+    }
+    let bucket_off: &[usize] = bucket_off;
 
     // Phase 2b: scatter into the bucketed temp arrays.
-    let cursor: Vec<AtomicUsize> = bucket_off.iter().map(|&o| AtomicUsize::new(o)).collect();
-    let mut tmp_dst = vec![0u32; live];
-    let mut tmp_w = vec![0u64; live];
+    cursor.clear();
+    cursor.extend_from_slice(bucket_off);
+    tmp_dst.clear();
+    tmp_dst.resize(live, 0);
+    tmp_w.clear();
+    tmp_w.resize(live, 0);
     {
-        let dst_c = as_atomic_u32(&mut tmp_dst);
-        let w_c = as_atomic_u64(&mut tmp_w);
+        let cur = as_atomic_usize(cursor);
+        let dst_c = as_atomic_u32(tmp_dst);
+        let w_c = as_atomic_u64(tmp_w);
         (0..ne).into_par_iter().for_each(|e| {
             let s = new_src[e];
             if s != pcd_util::NO_VERTEX {
-                let pos = cursor[s as usize].fetch_add(1, RELAXED);
+                let pos = cur[s as usize].fetch_add(1, RELAXED);
                 dst_c[pos].store(new_dst[e], RELAXED);
                 w_c[pos].store(g.weights()[e], RELAXED);
             }
@@ -139,42 +246,50 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
 
     // Phase 3: per-bucket sort + accumulate (shortening buckets).
     // Buckets are disjoint ranges of tmp arrays; raw-pointer access is safe.
-    let uniq: Vec<usize> = {
+    uniq.clear();
+    uniq.resize(num_new, 0);
+    {
         let dst_ptr = SendPtr(tmp_dst.as_mut_ptr());
         let w_ptr = SendPtr(tmp_w.as_mut_ptr());
-        (0..num_new)
-            .into_par_iter()
-            .map(|v| {
-                let (b, len) = (bucket_off[v], counts[v]);
-                if len == 0 {
-                    return 0;
-                }
-                let (dst_ptr, w_ptr) = (&dst_ptr, &w_ptr);
-                // SAFETY: `bucket_off` is the exclusive prefix sum of
-                // `counts`, so each vertex's range `[b, b + len)` is
-                // disjoint from every other task's and in-bounds for the
-                // bucket arrays; the arrays are exclusively borrowed for
-                // the duration of the parallel region.
-                unsafe {
-                    let d = std::slice::from_raw_parts_mut(dst_ptr.0.add(b), len);
-                    let w = std::slice::from_raw_parts_mut(w_ptr.0.add(b), len);
-                    sort_accumulate(d, w)
-                }
-            })
-            .collect()
-    };
+        uniq.par_iter_mut().enumerate().for_each(|(v, u)| {
+            let (b, len) = (bucket_off[v], counts[v]);
+            if len == 0 {
+                return;
+            }
+            let (dst_ptr, w_ptr) = (&dst_ptr, &w_ptr);
+            // SAFETY: `bucket_off` is the exclusive prefix sum of
+            // `counts` (or the FetchAdd equivalent: disjoint extents
+            // claimed off one cursor), so each vertex's range
+            // `[b, b + len)` is disjoint from every other task's and
+            // in-bounds for the bucket arrays; the arrays are exclusively
+            // borrowed for the duration of the parallel region.
+            unsafe {
+                let d = std::slice::from_raw_parts_mut(dst_ptr.0.add(b), len);
+                let w = std::slice::from_raw_parts_mut(w_ptr.0.add(b), len);
+                *u = sort_accumulate(d, w);
+            }
+        });
+    }
+    let uniq: &[usize] = uniq;
+    let tmp_dst: &[u32] = tmp_dst;
+    let tmp_w: &[u64] = tmp_w;
 
     // Phase 4: compact shortened buckets into dense final storage. The
     // final bucket order matches the placement policy's bucket order.
-    let final_off = offsets_from_counts(&uniq);
-    let total = final_off[num_new];
-    let mut src = vec![0u32; total];
-    let mut dst = vec![0u32; total];
-    let mut weight = vec![0u64; total];
+    final_off.clear();
+    final_off.extend_from_slice(uniq);
+    let total = exclusive_prefix_sum(final_off);
+    let final_off: &[usize] = final_off;
+    parts.src.clear();
+    parts.src.resize(total, 0);
+    parts.dst.clear();
+    parts.dst.resize(total, 0);
+    parts.weight.clear();
+    parts.weight.resize(total, 0);
     {
-        let src_c = as_atomic_u32(&mut src);
-        let dst_c = as_atomic_u32(&mut dst);
-        let w_c = as_atomic_u64(&mut weight);
+        let src_c = as_atomic_u32(&mut parts.src);
+        let dst_c = as_atomic_u32(&mut parts.dst);
+        let w_c = as_atomic_u64(&mut parts.weight);
         (0..num_new).into_par_iter().for_each(|v| {
             let from = bucket_off[v];
             let to = final_off[v];
@@ -185,48 +300,45 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
             }
         });
     }
-    let bucket_begin = final_off[..num_new].to_vec();
-    let bucket_end: Vec<usize> = (0..num_new).map(|v| final_off[v] + uniq[v]).collect();
+    parts.bucket_begin.clear();
+    parts.bucket_begin.extend_from_slice(final_off);
+    parts.bucket_end.clear();
+    parts
+        .bucket_end
+        .extend((0..num_new).map(|v| final_off[v] + uniq[v]));
 
-    let graph = Graph::from_parts(
-        num_new,
-        src,
-        dst,
-        weight,
-        bucket_begin,
-        bucket_end,
-        self_loop,
-    );
-    Contraction {
-        graph,
-        new_of_old,
-        num_new,
-    }
+    // Contraction conserves Σw + Σself exactly, so the parent's total
+    // carries over; debug builds re-verify inside `from_recycled_parts`.
+    let graph = Graph::from_recycled_parts(num_new, parts, g.total_weight());
+    (graph, num_new)
 }
 
 /// Sorts a bucket by destination and accumulates duplicate destinations in
 /// place; returns the number of unique entries (the shortened length).
+///
+/// The sort is a tandem in-place sort (insertion sort for short buckets,
+/// heapsort above that) that swaps `dst` and `w` together — no permutation
+/// buffer, no heap allocation, O(1) extra space. Equal destinations may
+/// land in any relative order, but their weights are summed with exact
+/// integer addition, so the accumulated output is order-independent.
 fn sort_accumulate(dst: &mut [u32], w: &mut [u64]) -> usize {
     let len = dst.len();
     if len == 0 {
         return 0;
     }
-    // Sort (dst, w) pairs by dst via a permutation (buckets are small on
-    // average; simple and cache-friendly enough).
-    let mut perm: Vec<u32> = (0..len as u32).collect();
-    perm.sort_unstable_by_key(|&k| dst[k as usize]);
-    let sorted_d: Vec<u32> = perm.iter().map(|&k| dst[k as usize]).collect();
-    let sorted_w: Vec<u64> = perm.iter().map(|&k| w[k as usize]).collect();
+    tandem_sort(dst, w);
     let mut out = 0usize;
     let mut k = 0usize;
     while k < len {
-        let d = sorted_d[k];
-        let mut acc = sorted_w[k];
+        let d = dst[k];
+        let mut acc = w[k];
         k += 1;
-        while k < len && sorted_d[k] == d {
-            acc += sorted_w[k];
+        while k < len && dst[k] == d {
+            acc += w[k];
             k += 1;
         }
+        // `out` trails `k` by at least one, so these writes only touch
+        // already-consumed slots.
         dst[out] = d;
         w[out] = acc;
         out += 1;
@@ -234,13 +346,55 @@ fn sort_accumulate(dst: &mut [u32], w: &mut [u64]) -> usize {
     out
 }
 
-struct SendPtr<T>(*mut T);
-// SAFETY: shared only inside the bucket-accumulation region, where each
-// task dereferences a disjoint bucket range; accesses never alias.
-unsafe impl<T> Sync for SendPtr<T> {}
-// SAFETY: moving the pointer across threads is fine; every dereference is
-// covered by the disjoint-bucket argument above.
-unsafe impl<T> Send for SendPtr<T> {}
+/// Insertion-sort cutoff for [`tandem_sort`]; buckets at or below this
+/// length skip the heap machinery.
+const TANDEM_INSERTION_CUTOFF: usize = 24;
+
+/// Sorts `dst` ascending, applying the identical permutation to `w`,
+/// entirely in place.
+fn tandem_sort(dst: &mut [u32], w: &mut [u64]) {
+    let n = dst.len();
+    if n <= TANDEM_INSERTION_CUTOFF {
+        for i in 1..n {
+            let (d, wi) = (dst[i], w[i]);
+            let mut j = i;
+            while j > 0 && dst[j - 1] > d {
+                dst[j] = dst[j - 1];
+                w[j] = w[j - 1];
+                j -= 1;
+            }
+            dst[j] = d;
+            w[j] = wi;
+        }
+        return;
+    }
+    for root in (0..n / 2).rev() {
+        sift_down(dst, w, root, n);
+    }
+    for end in (1..n).rev() {
+        dst.swap(0, end);
+        w.swap(0, end);
+        sift_down(dst, w, 0, end);
+    }
+}
+
+fn sift_down(dst: &mut [u32], w: &mut [u64], mut root: usize, end: usize) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && dst[child + 1] > dst[child] {
+            child += 1;
+        }
+        if dst[root] >= dst[child] {
+            return;
+        }
+        dst.swap(root, child);
+        w.swap(root, child);
+        root = child;
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -26,7 +26,7 @@ pub mod bucket;
 pub mod linked;
 pub mod seq;
 
-pub use bucket::{contract, contract_with_policy, Placement};
+pub use bucket::{contract, contract_into, contract_with_policy, ContractScratch, Placement};
 
 use pcd_graph::Graph;
 use pcd_matching::Matching;
@@ -51,28 +51,46 @@ pub struct Contraction {
 /// New ids are assigned in ascending order of the pair's smaller old id
 /// (deterministic). Returns `(new_of_old, num_new)`.
 pub fn relabel_from_matching(g: &Graph, m: &Matching) -> (Vec<VertexId>, usize) {
+    let mut is_leader = Vec::new();
+    let mut new_of_old = Vec::new();
+    let num_new = relabel_into(g, m, &mut is_leader, &mut new_of_old);
+    (new_of_old, num_new)
+}
+
+/// As [`relabel_from_matching`], writing into reused buffers (`is_leader`
+/// is working storage for the prefix sum; `new_of_old` the result). Both
+/// are cleared first and retain capacity. Returns `num_new`.
+pub fn relabel_into(
+    g: &Graph,
+    m: &Matching,
+    is_leader: &mut Vec<usize>,
+    new_of_old: &mut Vec<VertexId>,
+) -> usize {
     let nv = g.num_vertices();
     assert_eq!(m.mates().len(), nv);
     // Leaders: unmatched vertices and the smaller endpoint of each pair.
-    let mut is_leader: Vec<usize> = (0..nv)
-        .into_par_iter()
-        .map(|v| match m.mate(v as u32) {
+    is_leader.clear();
+    is_leader.resize(nv, 0);
+    is_leader.par_iter_mut().enumerate().for_each(|(v, l)| {
+        *l = match m.mate(v as u32) {
             Some(p) => (v < p as usize) as usize,
             None => 1,
-        })
-        .collect();
-    let num_new = pcd_util::scan::exclusive_prefix_sum(&mut is_leader);
-    let new_of_old: Vec<VertexId> = (0..nv)
-        .into_par_iter()
-        .map(|v| {
+        };
+    });
+    let num_new = pcd_util::scan::exclusive_prefix_sum(is_leader);
+    new_of_old.clear();
+    new_of_old.resize(nv, 0);
+    {
+        let is_leader: &[usize] = is_leader;
+        new_of_old.par_iter_mut().enumerate().for_each(|(v, n)| {
             let leader = match m.mate(v as u32) {
                 Some(p) => v.min(p as usize),
                 None => v,
             };
-            is_leader[leader] as VertexId
-        })
-        .collect();
-    (new_of_old, num_new)
+            *n = is_leader[leader] as VertexId;
+        });
+    }
+    num_new
 }
 
 /// Accumulates the self-loop weights of the contracted graph: each new
@@ -84,9 +102,24 @@ pub fn contracted_self_loops(
     new_of_old: &[VertexId],
     num_new: usize,
 ) -> Vec<Weight> {
-    let mut self_loop = vec![0u64; num_new];
+    let mut self_loop = Vec::new();
+    contracted_self_loops_into(g, m, new_of_old, num_new, &mut self_loop);
+    self_loop
+}
+
+/// As [`contracted_self_loops`], writing into a reused buffer (cleared
+/// first; capacity is retained).
+pub fn contracted_self_loops_into(
+    g: &Graph,
+    m: &Matching,
+    new_of_old: &[VertexId],
+    num_new: usize,
+    self_loop: &mut Vec<Weight>,
+) {
+    self_loop.clear();
+    self_loop.resize(num_new, 0);
     {
-        let cells = as_atomic_u64(&mut self_loop);
+        let cells = as_atomic_u64(self_loop);
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {
@@ -98,7 +131,6 @@ pub fn contracted_self_loops(
             cells[new_of_old[i as usize] as usize].fetch_add(w, RELAXED);
         });
     }
-    self_loop
 }
 
 /// Canonical multiset of a graph's edges as `(min, max, w)` sorted — a

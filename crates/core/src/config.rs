@@ -116,6 +116,12 @@ pub struct Config {
     /// sequential greedy completion and the level is flagged in
     /// [`crate::LevelStats::matcher_degraded`].
     pub max_match_rounds: Option<usize>,
+    /// Reuse the driver's per-level scratch arenas ([`crate::LevelScratch`])
+    /// across levels (default). When `false`, every level rebuilds the
+    /// arenas from empty — the pre-reuse allocation behaviour, kept as the
+    /// ablation arm for the memory benchmarks. Both settings produce
+    /// bit-identical results.
+    pub reuse_scratch: bool,
     /// Fault plan for the injection harness (test builds only).
     #[cfg(feature = "fault-injection")]
     pub fault: crate::fault::FaultPlan,
@@ -134,6 +140,7 @@ impl Default for Config {
             record_levels: false,
             paranoia: Paranoia::Off,
             max_match_rounds: None,
+            reuse_scratch: true,
             #[cfg(feature = "fault-injection")]
             fault: crate::fault::FaultPlan::default(),
         }
@@ -213,6 +220,14 @@ impl Config {
     /// Overrides the matcher watchdog's round cap.
     pub fn with_max_match_rounds(mut self, n: usize) -> Self {
         self.max_match_rounds = Some(n);
+        self
+    }
+
+    #[must_use]
+    /// Enables or disables cross-level scratch-arena reuse (on by
+    /// default; `false` is the fresh-allocation ablation arm).
+    pub fn with_scratch_reuse(mut self, on: bool) -> Self {
+        self.reuse_scratch = on;
         self
     }
 

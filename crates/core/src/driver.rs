@@ -3,11 +3,12 @@
 
 use crate::config::{default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia};
 use crate::result::{DetectionResult, LevelStats, StopReason};
-use crate::scorer::{any_positive, mask_oversized, score_all, ScoreContext};
+use crate::scorer::{any_positive, mask_oversized, score_all_into};
+use crate::scratch::LevelScratch;
 use crate::termination::{any_stops, LevelState};
-use pcd_contract::{bucket, linked, seq as contract_seq, Contraction, Placement};
-use pcd_graph::Graph;
-use pcd_matching::{edge_sweep, parallel, seq as match_seq, Matching};
+use pcd_contract::{bucket, linked, seq as contract_seq, ContractScratch, Placement};
+use pcd_graph::{Graph, GraphParts};
+use pcd_matching::{edge_sweep, parallel, seq as match_seq, MatchScratch, Matching};
 use pcd_util::sync::{as_atomic_u64, RELAXED};
 use pcd_util::timing::Timer;
 use pcd_util::{PcdError, Phase, VertexId, Weight};
@@ -41,27 +42,35 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
     let mut g = graph;
     let mut levels: Vec<LevelStats> = Vec::new();
     let mut level_maps: Vec<Vec<VertexId>> = Vec::new();
+    let mut scratch = LevelScratch::new();
+    scratch.ctx.refresh(&g);
     let stop_reason;
 
     loop {
+        if !config.reuse_scratch {
+            // Ablation arm: rebuild the arena from empty every level, the
+            // pre-reuse allocation behaviour. Same code path, identical
+            // outputs.
+            scratch = LevelScratch::new();
+            scratch.ctx.refresh(&g);
+        }
         let level = levels.len() + 1;
         let (nv, ne) = (g.num_vertices(), g.num_edges());
 
         // --- Phase 1: score.
         let t = Timer::start();
-        let ctx = ScoreContext::new(&g);
-        let mut scores = score_all(config.scorer, &g, &ctx);
+        score_all_into(config.scorer, &g, &scratch.ctx, &mut scratch.scores);
         if let Some(max_size) = config.max_community_size {
-            mask_oversized(&g, &mut scores, &counts, max_size);
+            mask_oversized(&g, &mut scratch.scores, &counts, max_size);
         }
         #[cfg(feature = "fault-injection")]
-        config.fault.corrupt_scores(level, &mut scores);
+        config.fault.corrupt_scores(level, &mut scratch.scores);
         if config.paranoia >= Paranoia::Cheap {
-            guard_scores_finite(level, &scores)?;
+            guard_scores_finite(level, &scratch.scores)?;
         }
         let score_secs = t.elapsed_secs();
 
-        if !any_positive(&scores) {
+        if !any_positive(&scratch.scores) {
             stop_reason = StopReason::LocalMaximum;
             break;
         }
@@ -69,11 +78,12 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
         // --- Phase 2: match.
         let t = Timer::start();
         #[allow(unused_mut)]
-        let (mut matching, rounds, degraded) = run_matcher(config, &g, &scores);
+        let (mut matching, rounds, degraded) =
+            run_matcher(config, &g, &scratch.scores, &mut scratch.matching);
         #[cfg(feature = "fault-injection")]
         config.fault.corrupt_matching(level, &mut matching);
         if config.paranoia >= Paranoia::Full {
-            pcd_matching::verify::verify_matching(&g, &scores, &matching)
+            pcd_matching::verify::verify_matching(&g, &scratch.scores, &matching)
                 .map_err(|detail| PcdError::invariant(level, Phase::Match, detail))?;
         }
         let match_secs = t.elapsed_secs();
@@ -82,42 +92,81 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
             break;
         }
 
-        // --- Phase 3: contract.
+        // --- Phase 3: contract. The next graph scatters into the shadow
+        // storage (the graph retired two levels ago); the old→new map
+        // lands in the contract scratch.
         let t = Timer::start();
+        let parts = scratch.take_parts();
         #[allow(unused_mut)]
-        let mut contraction = run_contractor(config.contractor, &g, &matching);
+        let (mut next, mut num_new) =
+            run_contractor(config.contractor, &g, &matching, &mut scratch.contract, parts);
         #[cfg(feature = "fault-injection")]
-        config.fault.corrupt_contraction(level, &mut contraction);
+        {
+            // The fault hook mutates a `Contraction`; round-trip through
+            // one so injected faults land exactly as before.
+            let mut c = pcd_contract::Contraction {
+                graph: next,
+                new_of_old: scratch.contract.take_new_of_old(),
+                num_new,
+            };
+            config.fault.corrupt_contraction(level, &mut c);
+            scratch.contract.set_new_of_old(c.new_of_old);
+            next = c.graph;
+            num_new = c.num_new;
+        }
         if config.paranoia >= Paranoia::Cheap {
-            guard_contraction(level, config.paranoia, &g, &matching, &contraction)?;
+            guard_contraction(
+                level,
+                config.paranoia,
+                &g,
+                &matching,
+                &next,
+                scratch.contract.new_of_old(),
+                num_new,
+            )?;
         }
         let contract_secs = t.elapsed_secs();
 
         // Fold the level into the hierarchy state.
-        let Contraction {
-            graph: next,
-            new_of_old,
-            num_new,
-        } = contraction;
+        let new_of_old = scratch.contract.new_of_old();
         assignment.par_iter_mut().for_each(|a| {
             *a = new_of_old[*a as usize];
         });
-        let mut new_counts = vec![0u64; num_new];
+        scratch.counts_next.clear();
+        scratch.counts_next.resize(num_new, 0);
         {
-            let cells = as_atomic_u64(&mut new_counts);
+            let cells = as_atomic_u64(&mut scratch.counts_next);
             counts.par_iter().enumerate().for_each(|(old, &c)| {
                 cells[new_of_old[old] as usize].fetch_add(c, RELAXED);
             });
         }
-        counts = new_counts;
-        let pairs = matching.len();
-        if config.record_levels {
-            level_maps.push(new_of_old);
+        std::mem::swap(&mut counts, &mut scratch.counts_next);
+        // Volumes are conserved exactly under pair merges, so the next
+        // level's volumes are a fold of this level's — no recompute.
+        scratch.vol_next.clear();
+        scratch.vol_next.resize(num_new, 0);
+        {
+            let cells = as_atomic_u64(&mut scratch.vol_next);
+            scratch.ctx.vol.par_iter().enumerate().for_each(|(old, &v)| {
+                cells[new_of_old[old] as usize].fetch_add(v, RELAXED);
+            });
         }
-        g = next;
+        std::mem::swap(&mut scratch.ctx.vol, &mut scratch.vol_next);
+        let pairs = matching.len();
+        scratch.matching.recycle(matching);
+        if config.record_levels {
+            level_maps.push(scratch.contract.take_new_of_old());
+        }
+        // Ping-pong: the outgoing graph's storage becomes the shadow for
+        // the next contraction.
+        let retired = std::mem::replace(&mut g, next);
+        if config.reuse_scratch {
+            scratch.store_parts(retired);
+        }
+        debug_assert_eq!(scratch.ctx.vol, g.volumes(), "volume fold drifted");
 
         let coverage = g.coverage();
-        let modularity = pcd_metrics::community_graph_modularity(&g);
+        let modularity = pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol);
         levels.push(LevelStats {
             level,
             num_vertices: nv,
@@ -146,7 +195,7 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
 
     Ok(DetectionResult {
         num_communities: g.num_vertices(),
-        modularity: pcd_metrics::community_graph_modularity(&g),
+        modularity: pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol),
         coverage: g.coverage(),
         community_vertex_counts: counts,
         community_graph: g,
@@ -163,13 +212,18 @@ pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdE
 /// [`default_match_round_cap`]); the returned flag reports whether it
 /// degraded to the sequential fallback. The other kernels have statically
 /// bounded pass counts and never degrade.
-fn run_matcher(config: &Config, g: &Graph, scores: &[f64]) -> (Matching, usize, bool) {
+fn run_matcher(
+    config: &Config,
+    g: &Graph,
+    scores: &[f64],
+    scratch: &mut MatchScratch,
+) -> (Matching, usize, bool) {
     let out = match config.matcher {
         MatcherKind::UnmatchedList => {
             let cap = config
                 .max_match_rounds
                 .unwrap_or_else(|| default_match_round_cap(g.num_vertices()));
-            let o = parallel::match_unmatched_list_capped(g, scores, cap);
+            let o = parallel::match_unmatched_list_scratch(g, scores, cap, scratch);
             (o.matching, o.rounds, o.degraded)
         }
         MatcherKind::EdgeSweep => {
@@ -204,44 +258,57 @@ fn guard_scores_finite(level: usize, scores: &[f64]) -> Result<(), PcdError> {
 /// conservation of internal (self-loop) weight given the matched edges,
 /// and a well-formed old→new map. Full level additionally revalidates the
 /// whole contracted graph structure.
+#[allow(clippy::too_many_arguments)]
 fn guard_contraction(
     level: usize,
     paranoia: Paranoia,
     g: &Graph,
     matching: &Matching,
-    c: &Contraction,
+    next: &Graph,
+    new_of_old: &[VertexId],
+    num_new: usize,
 ) -> Result<(), PcdError> {
     let fail = |detail: String| Err(PcdError::invariant(level, Phase::Contract, detail));
 
-    if c.new_of_old.len() != g.num_vertices() {
+    if new_of_old.len() != g.num_vertices() {
         return fail(format!(
             "old→new map covers {} vertices, parent graph has {}",
-            c.new_of_old.len(),
+            new_of_old.len(),
             g.num_vertices()
         ));
     }
-    if c.num_new != c.graph.num_vertices() {
+    if num_new != next.num_vertices() {
         return fail(format!(
             "num_new = {} but contracted graph has {} vertices",
-            c.num_new,
-            c.graph.num_vertices()
+            num_new,
+            next.num_vertices()
         ));
     }
-    if let Some(old) = c
-        .new_of_old
+    if let Some(old) = new_of_old
         .par_iter()
-        .position_any(|&n| n as usize >= c.num_new)
+        .position_any(|&n| n as usize >= num_new)
     {
         return fail(format!(
             "new_of_old[{old}] = {} out of range for {} communities",
-            c.new_of_old[old], c.num_new
+            new_of_old[old], num_new
         ));
     }
-    if c.graph.total_weight() != g.total_weight() {
+    // Recompute the child's total from its arrays: `contract_into` stamps
+    // the parent's total by construction, so trusting `total_weight()`
+    // here would make conservation a tautology.
+    let next_total: Weight = next.weights().par_iter().sum::<Weight>()
+        + next.self_loops().par_iter().sum::<Weight>();
+    if next_total != g.total_weight() {
         return fail(format!(
             "total edge weight not conserved: {} before, {} after",
             g.total_weight(),
-            c.graph.total_weight()
+            next_total
+        ));
+    }
+    if next.total_weight() != next_total {
+        return fail(format!(
+            "contracted graph's stored total {} disagrees with its arrays ({next_total})",
+            next.total_weight()
         ));
     }
     let matched_weight: Weight = matching
@@ -250,28 +317,49 @@ fn guard_contraction(
         .map(|&e| g.weights()[e])
         .sum();
     let expected_internal = g.internal_weight() + matched_weight;
-    if c.graph.internal_weight() != expected_internal {
+    if next.internal_weight() != expected_internal {
         return fail(format!(
             "internal weight {} != parent internal {} + matched {}",
-            c.graph.internal_weight(),
+            next.internal_weight(),
             g.internal_weight(),
             matched_weight
         ));
     }
     if paranoia >= Paranoia::Full {
-        if let Err(msg) = c.graph.validate() {
+        if let Err(msg) = next.validate() {
             return fail(format!("contracted graph fails validation: {msg}"));
         }
     }
     Ok(())
 }
 
-fn run_contractor(kind: ContractorKind, g: &Graph, m: &Matching) -> Contraction {
+/// Runs the configured contractor. The bucket kernels scatter into the
+/// recycled `parts` and leave the old→new map in `scratch`; the baseline
+/// and oracle kernels go through the owning API (dropping `parts`) and
+/// deposit their map into `scratch` afterwards, so the driver's fold path
+/// is uniform.
+fn run_contractor(
+    kind: ContractorKind,
+    g: &Graph,
+    m: &Matching,
+    scratch: &mut ContractScratch,
+    parts: GraphParts,
+) -> (Graph, usize) {
     match kind {
-        ContractorKind::Bucket => bucket::contract_with_policy(g, m, Placement::PrefixSum),
-        ContractorKind::BucketFetchAdd => bucket::contract_with_policy(g, m, Placement::FetchAdd),
-        ContractorKind::Linked => linked::contract_linked(g, m),
-        ContractorKind::Sequential => contract_seq::contract_seq(g, m),
+        ContractorKind::Bucket => bucket::contract_into(g, m, Placement::PrefixSum, scratch, parts),
+        ContractorKind::BucketFetchAdd => {
+            bucket::contract_into(g, m, Placement::FetchAdd, scratch, parts)
+        }
+        ContractorKind::Linked => {
+            let c = linked::contract_linked(g, m);
+            scratch.set_new_of_old(c.new_of_old);
+            (c.graph, c.num_new)
+        }
+        ContractorKind::Sequential => {
+            let c = contract_seq::contract_seq(g, m);
+            scratch.set_new_of_old(c.new_of_old);
+            (c.graph, c.num_new)
+        }
     }
 }
 
@@ -540,6 +628,30 @@ mod tests {
                 .with_paranoia(Paranoia::Full);
             let r = try_detect(g.clone(), &cfg);
             assert!(r.is_ok(), "contractor {contractor:?}: {:?}", r.err());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        // The arena ablation: reuse on (default) and off must be
+        // bit-identical, across kernels and paranoia levels.
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, 41));
+        for base in [
+            Config::default(),
+            Config::default().with_paranoia(Paranoia::Full),
+            Config::default()
+                .with_matcher(MatcherKind::EdgeSweep)
+                .with_contractor(ContractorKind::Linked),
+            Config::default().with_contractor(ContractorKind::BucketFetchAdd),
+            Config::default().with_recorded_levels(),
+        ] {
+            let reused = detect(g.clone(), &base.clone().with_scratch_reuse(true));
+            let fresh = detect(g.clone(), &base.with_scratch_reuse(false));
+            assert_eq!(reused.assignment, fresh.assignment);
+            assert_eq!(reused.modularity, fresh.modularity);
+            assert_eq!(reused.num_communities, fresh.num_communities);
+            assert_eq!(reused.level_maps, fresh.level_maps);
+            assert_eq!(reused.community_vertex_counts, fresh.community_vertex_counts);
         }
     }
 

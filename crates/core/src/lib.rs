@@ -28,6 +28,7 @@ pub mod multilevel;
 pub mod refine;
 pub mod result;
 pub mod scorer;
+pub mod scratch;
 pub mod termination;
 
 pub use config::{
@@ -39,5 +40,6 @@ pub use fault::FaultPlan;
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
 pub use refine::{detect_refined, refine, Refinement};
 pub use result::{DetectionResult, LevelStats};
-pub use scorer::{score_all, ScoreContext};
+pub use scorer::{score_all, score_all_into, ScoreContext};
+pub use scratch::LevelScratch;
 pub use termination::Criterion;

@@ -13,6 +13,7 @@ use pcd_util::Weight;
 use rayon::prelude::*;
 
 /// Precomputed per-level quantities shared by all edge scores.
+#[derive(Debug)]
 pub struct ScoreContext {
     /// Per-community volume (`2·self + incident weight`).
     pub vol: Vec<Weight>,
@@ -23,9 +24,28 @@ pub struct ScoreContext {
 impl ScoreContext {
     /// Precomputes volumes and the total weight of `g`.
     pub fn new(g: &Graph) -> Self {
+        let mut ctx = ScoreContext::default();
+        ctx.refresh(g);
+        ctx
+    }
+
+    /// Recomputes the context for `g` in place, reusing the volume
+    /// buffer's capacity. The driver calls this once per run; later levels
+    /// fold volumes through the contraction map instead (volume is
+    /// conserved exactly under pair merges).
+    pub fn refresh(&mut self, g: &Graph) {
+        g.volumes_into(&mut self.vol);
+        self.m = g.total_weight();
+    }
+}
+
+impl Default for ScoreContext {
+    /// An empty context (no volumes, zero weight); [`refresh`]
+    /// ([`ScoreContext::refresh`]) before use.
+    fn default() -> Self {
         ScoreContext {
-            vol: g.volumes(),
-            m: g.total_weight(),
+            vol: Vec::new(),
+            m: 0,
         }
     }
 }
@@ -49,10 +69,19 @@ pub fn score_edge(kind: ScorerKind, g: &Graph, ctx: &ScoreContext, e: usize) -> 
 
 /// Scores every edge in parallel into an `|E|`-long array.
 pub fn score_all(kind: ScorerKind, g: &Graph, ctx: &ScoreContext) -> Vec<f64> {
-    (0..g.num_edges())
-        .into_par_iter()
-        .map(|e| score_edge(kind, g, ctx, e))
-        .collect()
+    let mut out = Vec::new();
+    score_all_into(kind, g, ctx, &mut out);
+    out
+}
+
+/// As [`score_all`], writing into a reused buffer (cleared first; capacity
+/// is retained, so steady-state scoring allocates nothing).
+pub fn score_all_into(kind: ScorerKind, g: &Graph, ctx: &ScoreContext, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(g.num_edges(), 0.0);
+    out.par_iter_mut()
+        .enumerate()
+        .for_each(|(e, s)| *s = score_edge(kind, g, ctx, e));
 }
 
 /// Masks (sets to `-1.0`) the score of any edge whose merge would create a

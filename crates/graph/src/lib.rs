@@ -58,6 +58,29 @@ pub struct Graph {
     total_weight: Weight,
 }
 
+/// The raw storage of a [`Graph`], detached from its invariants.
+///
+/// This is the double-buffering handle of the level loop: contraction
+/// scatters the next community graph into a recycled `GraphParts` (reusing
+/// its capacity), and the previous level's graph is broken back into parts
+/// once folded into the hierarchy. Graphs only shrink across levels, so
+/// after the first level the ping-pong allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct GraphParts {
+    /// Stored-first endpoints.
+    pub src: Vec<VertexId>,
+    /// Stored-second endpoints.
+    pub dst: Vec<VertexId>,
+    /// Edge weights.
+    pub weight: Vec<Weight>,
+    /// Per-vertex bucket start indices.
+    pub bucket_begin: Vec<usize>,
+    /// Per-vertex bucket end indices.
+    pub bucket_end: Vec<usize>,
+    /// Per-vertex self-loop weights.
+    pub self_loop: Vec<Weight>,
+}
+
 impl Graph {
     /// Assembles a graph from raw parts. Used by the builder and by the
     /// contraction kernel (whose buckets are not contiguous).
@@ -86,6 +109,47 @@ impl Graph {
         };
         debug_assert_eq!(g.validate(), Ok(()));
         g
+    }
+
+    /// Assembles a graph from recycled [`GraphParts`] and a total weight
+    /// the caller already knows (contraction conserves `Σ w + Σ self`, so
+    /// the parent's total carries over without a reduction pass).
+    ///
+    /// Debug builds validate all structural invariants, including that the
+    /// supplied total matches the actual sums.
+    pub fn from_recycled_parts(nv: usize, parts: GraphParts, total_weight: Weight) -> Self {
+        let GraphParts {
+            src,
+            dst,
+            weight,
+            bucket_begin,
+            bucket_end,
+            self_loop,
+        } = parts;
+        let g = Graph {
+            nv,
+            src,
+            dst,
+            weight,
+            bucket_begin,
+            bucket_end,
+            self_loop,
+            total_weight,
+        };
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// Breaks the graph back into raw storage for recycling.
+    pub fn into_parts(self) -> GraphParts {
+        GraphParts {
+            src: self.src,
+            dst: self.dst,
+            weight: self.weight,
+            bucket_begin: self.bucket_begin,
+            bucket_end: self.bucket_end,
+            self_loop: self.self_loop,
+        }
     }
 
     /// An empty graph over `nv` isolated vertices.
@@ -180,16 +244,27 @@ impl Graph {
     /// Per-vertex *volume*: `vol(v) = 2·self_loop(v) + Σ_{e ∋ v} w(e)`.
     /// `Σ vol = 2m`. Needed by both modularity and conductance scoring.
     pub fn volumes(&self) -> Vec<Weight> {
-        let mut vol: Vec<u64> = self.self_loop.par_iter().map(|&s| 2 * s).collect();
+        let mut vol = Vec::new();
+        self.volumes_into(&mut vol);
+        vol
+    }
+
+    /// As [`Graph::volumes`], writing into a reused buffer (cleared first;
+    /// capacity is retained, so steady-state calls allocate nothing).
+    pub fn volumes_into(&self, vol: &mut Vec<Weight>) {
+        vol.clear();
+        vol.resize(self.nv, 0);
+        vol.par_iter_mut()
+            .zip(self.self_loop.par_iter())
+            .for_each(|(v, &s)| *v = 2 * s);
         {
-            let cells = pcd_util::sync::as_atomic_u64(&mut vol);
+            let cells = pcd_util::sync::as_atomic_u64(vol);
             (0..self.num_edges()).into_par_iter().for_each(|e| {
                 let (i, j, w) = self.edge(e);
                 cells[i as usize].fetch_add(w, RELAXED);
                 cells[j as usize].fetch_add(w, RELAXED);
             });
         }
-        vol
     }
 
     /// Fraction of the total weight contained inside vertices (communities):
@@ -401,6 +476,30 @@ mod tests {
             total_weight: 0,
         };
         assert!(g.validate().unwrap_err().contains("zero weight"));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_graph() {
+        let g = triangle();
+        let total = g.total_weight();
+        let (src, dst, w) = (g.srcs().to_vec(), g.dsts().to_vec(), g.weights().to_vec());
+        let parts = g.into_parts();
+        assert_eq!(parts.src, src);
+        let g2 = Graph::from_recycled_parts(3, parts, total);
+        assert_eq!(g2.srcs(), &src[..]);
+        assert_eq!(g2.dsts(), &dst[..]);
+        assert_eq!(g2.weights(), &w[..]);
+        assert_eq!(g2.total_weight(), total);
+        assert_eq!(g2.validate(), Ok(()));
+    }
+
+    #[test]
+    fn volumes_into_reuses_buffer() {
+        let g = triangle();
+        let mut vol = vec![123u64; 10];
+        g.volumes_into(&mut vol);
+        assert_eq!(vol, vec![1 + 3, 1 + 2, 2 + 3]);
+        assert_eq!(vol, g.volumes());
     }
 
     #[test]

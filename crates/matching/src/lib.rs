@@ -33,7 +33,9 @@ pub mod parallel;
 pub mod seq;
 pub mod verify;
 
-pub use parallel::{match_unmatched_list, match_unmatched_list_capped};
+pub use parallel::{
+    match_unmatched_list, match_unmatched_list_capped, match_unmatched_list_scratch, MatchScratch,
+};
 
 use pcd_graph::Graph;
 use pcd_util::{VertexId, NO_VERTEX};

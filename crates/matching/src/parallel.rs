@@ -25,12 +25,50 @@
 
 use crate::{edge_beats, MatchOutcome, Matching};
 use pcd_graph::Graph;
-use pcd_util::sync::{as_atomic_u32, cas_improve_u64, AtomicU64, AtomicUsize, ACQUIRE, RELAXED};
+use pcd_util::scan::Compactor;
+use pcd_util::sync::{
+    as_atomic_u32, as_atomic_u64, cas_improve_u64, AtomicU64, AtomicUsize, ACQUIRE, RELAXED,
+};
 use pcd_util::{VertexId, NO_VERTEX};
 use rayon::prelude::*;
 
 /// Register value meaning "no proposal".
 const EMPTY: u64 = u64::MAX;
+
+/// Reusable storage for [`match_unmatched_list_scratch`]: the proposal
+/// registers, the live list and its compaction double buffer, the
+/// per-round proposal/resolution slots, and the sequential fallback's
+/// candidate buffer. Holding these across levels (and recycling the
+/// finished [`Matching`]'s own vectors via [`MatchScratch::recycle`])
+/// makes steady-state matching allocation-free.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    mate: Vec<VertexId>,
+    edges: Vec<usize>,
+    best: Vec<u64>,
+    list: Vec<VertexId>,
+    survivors: Vec<VertexId>,
+    proposals: Vec<u64>,
+    pair_edge: Vec<u64>,
+    keep: Vec<bool>,
+    candidates: Vec<usize>,
+    compactor: Compactor,
+}
+
+impl MatchScratch {
+    /// A scratch with no retained capacity.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    /// Reclaims a finished matching's storage (its mate array and matched
+    /// edge list) so the next level's run can reuse the capacity.
+    pub fn recycle(&mut self, m: Matching) {
+        let Matching { mate, edges } = m;
+        self.mate = mate;
+        self.edges = edges;
+    }
+}
 
 /// Computes the greedy maximal matching over positively-scored edges.
 ///
@@ -58,28 +96,83 @@ pub fn match_unmatched_list_stats(g: &Graph, scores: &[f64]) -> (Matching, usize
 /// corrupted score array must cost throughput, not liveness. The result
 /// is a valid maximal matching either way.
 pub fn match_unmatched_list_capped(g: &Graph, scores: &[f64], max_rounds: usize) -> MatchOutcome {
+    let mut scratch = MatchScratch::new();
+    match_unmatched_list_scratch(g, scores, max_rounds, &mut scratch)
+}
+
+/// As [`match_unmatched_list_capped`], running entirely inside a caller-owned
+/// [`MatchScratch`]. The result is bit-identical to the owning entry point
+/// for any thread count; the only difference is where the buffers live.
+/// After the first call at a given graph size, further calls perform no
+/// heap allocation (graphs shrink level over level, so capacity carries).
+pub fn match_unmatched_list_scratch(
+    g: &Graph,
+    scores: &[f64],
+    max_rounds: usize,
+    scratch: &mut MatchScratch,
+) -> MatchOutcome {
     assert_eq!(scores.len(), g.num_edges());
     let nv = g.num_vertices();
-    let mut mate: Vec<u32> = vec![NO_VERTEX; nv];
-    let best: Vec<AtomicU64> = (0..nv).map(|_| AtomicU64::new(EMPTY)).collect();
+    let mut mate: Vec<u32> = std::mem::take(&mut scratch.mate);
+    mate.clear();
+    mate.resize(nv, NO_VERTEX);
+    let mut matched_edges: Vec<usize> = std::mem::take(&mut scratch.edges);
+    matched_edges.clear();
+    // Capacity to the `nv`-derived ceilings, not last level's occupancy:
+    // live-list length and matched count are not monotone across levels
+    // (a later level can match more pairs than its predecessor), but both
+    // are bounded by this level's nv, which only shrinks. One reservation
+    // here keeps every later call allocation-free.
+    matched_edges.reserve(nv / 2);
 
-    // Live list: vertices owning at least one positively-scored bucket edge.
-    let mut list: Vec<VertexId> = (0..nv as u32)
-        .into_par_iter()
-        .filter(|&v| g.bucket(v).any(|e| scores[e] > 0.0))
-        .collect();
+    let MatchScratch {
+        best,
+        list,
+        survivors,
+        proposals,
+        pair_edge,
+        keep,
+        candidates,
+        compactor,
+        ..
+    } = scratch;
+    best.clear();
+    best.resize(nv, EMPTY);
+    for buf in [&mut *list, survivors] {
+        buf.clear();
+        buf.reserve(nv);
+    }
+    for buf in [&mut *proposals, pair_edge] {
+        buf.clear();
+        buf.reserve(nv);
+    }
 
-    let mut matched_edges: Vec<usize> = Vec::new();
+    // Live list: vertices owning at least one positively-scored bucket
+    // edge. The keep-flag + chunked compaction reproduces the indexed
+    // filter's order for any thread count.
+    keep.clear();
+    keep.resize(nv, false);
+    keep.par_iter_mut().enumerate().for_each(|(v, k)| {
+        *k = g.bucket(v as u32).any(|e| scores[e] > 0.0);
+    });
+    compactor.compact_indices_into(keep, list);
+
     let mut rounds = 0usize;
 
     while !list.is_empty() && rounds < max_rounds {
         rounds += 1;
 
-        // Pass 1: propose. `mate` is read-only during this pass.
-        let proposals: Vec<u64> = {
+        // Pass 1: propose. `mate` is read-only during this pass. Each live
+        // vertex writes its chosen edge into its own proposal slot, then
+        // CAS-maxes it into both endpoints' registers.
+        proposals.clear();
+        proposals.resize(list.len(), EMPTY);
+        {
             let mate_ro: &[u32] = &mate;
-            list.par_iter()
-                .map(|&u| {
+            proposals
+                .par_iter_mut()
+                .zip(list.par_iter())
+                .for_each(|(slot, &u)| {
                     let mut choice = EMPTY;
                     for e in g.bucket(u) {
                         if scores[e] <= 0.0 {
@@ -94,31 +187,38 @@ pub fn match_unmatched_list_capped(g: &Graph, scores: &[f64], max_rounds: usize)
                             choice = e as u64;
                         }
                     }
-                    choice
-                })
-                .collect()
-        };
-        list.par_iter()
-            .zip(proposals.par_iter())
-            .for_each(|(&u, &e)| {
-                if e != EMPTY {
-                    let e_us = e as usize;
-                    let (i, j, _) = g.edge(e_us);
-                    debug_assert_eq!(i, u);
-                    propose(g, scores, &best[i as usize], e_us);
-                    propose(g, scores, &best[j as usize], e_us);
-                }
-            });
+                    *slot = choice;
+                });
+        }
+        {
+            let best = as_atomic_u64(best);
+            list.par_iter()
+                .zip(proposals.par_iter())
+                .for_each(|(&u, &e)| {
+                    if e != EMPTY {
+                        let e_us = e as usize;
+                        let (i, j, _) = g.edge(e_us);
+                        debug_assert_eq!(i, u);
+                        propose(g, scores, &best[i as usize], e_us);
+                        propose(g, scores, &best[j as usize], e_us);
+                    }
+                });
+        }
 
         // Pass 2: resolve mutual-best edges. Each matched pair is recorded
-        // once, by its stored-first endpoint.
-        let new_pairs: Vec<usize> = {
+        // once, by its stored-first endpoint, into that vertex's slot.
+        pair_edge.clear();
+        pair_edge.resize(list.len(), EMPTY);
+        {
+            let best = as_atomic_u64(best);
             let mate_cells = as_atomic_u32(&mut mate);
-            list.par_iter()
-                .filter_map(|&u| {
+            pair_edge
+                .par_iter_mut()
+                .zip(list.par_iter())
+                .for_each(|(slot, &u)| {
                     let e = best[u as usize].load(ACQUIRE);
                     if e == EMPTY {
-                        return None;
+                        return;
                     }
                     let e_us = e as usize;
                     let (i, j, _) = g.edge(e_us);
@@ -126,39 +226,54 @@ pub fn match_unmatched_list_capped(g: &Graph, scores: &[f64], max_rounds: usize)
                         // Both endpoints execute identical stores; benign.
                         mate_cells[i as usize].store(j, RELAXED);
                         mate_cells[j as usize].store(i, RELAXED);
-                        (u == i).then_some(e_us)
-                    } else {
-                        None
+                        if u == i {
+                            *slot = e;
+                        }
                     }
-                })
-                .collect()
-        };
-        let progressed = !new_pairs.is_empty();
-        matched_edges.extend(new_pairs);
+                });
+        }
+        // Appending in slot (= list) order reproduces the order a
+        // filter_map collect over the list would have produced.
+        let before = matched_edges.len();
+        matched_edges.extend(
+            pair_edge
+                .iter()
+                .filter(|&&e| e != EMPTY)
+                .map(|&e| e as usize),
+        );
+        let progressed = matched_edges.len() > before;
 
-        // Pass 3: compact the list and reset used registers.
-        let mate_ro: &[u32] = &mate;
-        let survivors: Vec<VertexId> = list
-            .par_iter()
-            .copied()
-            .filter(|&u| {
-                best[u as usize].store(EMPTY, RELAXED);
-                if mate_ro[u as usize] != NO_VERTEX {
-                    return false;
+        // Pass 3a: which live vertices stay on the list?
+        keep.clear();
+        keep.resize(list.len(), false);
+        {
+            let mate_ro: &[u32] = &mate;
+            keep.par_iter_mut()
+                .zip(list.par_iter())
+                .for_each(|(k, &u)| {
+                    *k = mate_ro[u as usize] == NO_VERTEX
+                        && g.bucket(u).any(|e| {
+                            scores[e] > 0.0 && mate_ro[g.dsts()[e] as usize] == NO_VERTEX
+                        });
+                });
+        }
+        // Pass 3b: targeted register reset. Exactly the registers at the
+        // endpoints of this round's proposals were written (passive
+        // endpoints included); racing EMPTY stores are idempotent. Every
+        // other register is EMPTY by induction, so no O(|V|) sweep.
+        {
+            let best = as_atomic_u64(best);
+            proposals.par_iter().for_each(|&e| {
+                if e != EMPTY {
+                    let (i, j, _) = g.edge(e as usize);
+                    best[i as usize].store(EMPTY, RELAXED);
+                    best[j as usize].store(EMPTY, RELAXED);
                 }
-                // Still anything to propose next round?
-                g.bucket(u)
-                    .any(|e| scores[e] > 0.0 && mate_ro[g.dsts()[e] as usize] == NO_VERTEX)
-            })
-            .collect();
-        // Registers of passive endpoints (not on the list) must also reset.
-        // Proposals only target edge endpoints; clear via matched edges and
-        // proposal targets: cheapest correct reset is clearing every best a
-        // proposal may have touched — i.e. dst endpoints of list buckets.
-        // A full clear is O(|V|) and rounds are few; keep it simple:
-        best.par_iter().for_each(|b| b.store(EMPTY, RELAXED));
+            });
+        }
+        compactor.compact_into(list, keep, survivors);
+        std::mem::swap(list, survivors);
 
-        list = survivors;
         debug_assert!(
             progressed || list.is_empty(),
             "matching round made no progress"
@@ -174,7 +289,7 @@ pub fn match_unmatched_list_capped(g: &Graph, scores: &[f64], max_rounds: usize)
     // remaining: finish them off sequentially so the matching stays maximal.
     let degraded = !list.is_empty();
     if degraded {
-        complete_sequential(g, scores, &mut mate, &mut matched_edges);
+        complete_sequential(g, scores, &mut mate, &mut matched_edges, candidates);
     }
 
     MatchOutcome {
@@ -187,26 +302,28 @@ pub fn match_unmatched_list_capped(g: &Graph, scores: &[f64], max_rounds: usize)
 /// Sequential greedy completion over whatever is still unmatched. Uses
 /// `total_cmp` so even NaN scores (which the eligibility filter excludes,
 /// but a corrupted array could smuggle past `> 0.0` elsewhere) cannot
-/// panic the fallback path.
+/// panic the fallback path. Candidates are built **once** into the reused
+/// scratch buffer and sorted in place (`sort_unstable` allocates nothing),
+/// rather than collected fresh and re-sorted.
 fn complete_sequential(
     g: &Graph,
     scores: &[f64],
     mate: &mut [VertexId],
     matched_edges: &mut Vec<usize>,
+    candidates: &mut Vec<usize>,
 ) {
-    let mut candidates: Vec<usize> = (0..g.num_edges())
-        .filter(|&e| {
-            let (i, j, _) = g.edge(e);
-            scores[e] > 0.0 && mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX
-        })
-        .collect();
+    candidates.clear();
+    candidates.extend((0..g.num_edges()).filter(|&e| {
+        let (i, j, _) = g.edge(e);
+        scores[e] > 0.0 && mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX
+    }));
     candidates.sort_unstable_by(|&a, &b| {
         scores[b]
             .total_cmp(&scores[a])
             .then(g.srcs()[b].cmp(&g.srcs()[a]))
             .then(g.dsts()[b].cmp(&g.dsts()[a]))
     });
-    for e in candidates {
+    for &e in candidates.iter() {
         let (i, j, _) = g.edge(e);
         if mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX {
             mate[i as usize] = j;
@@ -382,6 +499,24 @@ mod tests {
         assert_eq!(out.rounds, 0);
         assert!(out.degraded);
         assert!(verify_matching(&g, &s, &out.matching).is_ok());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch carried across graphs of shrinking-then-varied sizes
+        // must reproduce the owning entry point exactly, including the
+        // degraded fallback path.
+        let mut scratch = MatchScratch::new();
+        for seed in [11, 29, 31] {
+            let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(9, seed));
+            let s: Vec<f64> = g.weights().iter().map(|&w| w as f64).collect();
+            for cap in [usize::MAX, 1] {
+                let fresh = match_unmatched_list_capped(&g, &s, cap);
+                let reused = match_unmatched_list_scratch(&g, &s, cap, &mut scratch);
+                assert_eq!(fresh, reused, "seed {seed} cap {cap}");
+                scratch.recycle(reused.matching);
+            }
+        }
     }
 
     #[test]

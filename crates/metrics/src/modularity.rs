@@ -59,13 +59,20 @@ pub fn modularity(g: &Graph, assignment: &[VertexId]) -> f64 {
 /// `in_c` is the vertex's self-loop, `vol_c` its volume. This is what the
 /// agglomerative driver tracks level by level.
 pub fn community_graph_modularity(g: &Graph) -> f64 {
+    let vol = g.volumes();
+    community_graph_modularity_with_vol(g, &vol)
+}
+
+/// As [`community_graph_modularity`], with the per-vertex volumes supplied
+/// by the caller (the driver carries them through contraction instead of
+/// recomputing per level). `vol` must equal `g.volumes()`.
+pub fn community_graph_modularity_with_vol(g: &Graph, vol: &[Weight]) -> f64 {
+    debug_assert_eq!(vol.len(), g.num_vertices());
     let m = g.total_weight();
     if m == 0 {
         return 0.0;
     }
-    let vol = g.volumes();
-    let internal: Vec<Weight> = g.self_loops().to_vec();
-    q_from_terms(m, &internal, &vol)
+    q_from_terms(m, g.self_loops(), vol)
 }
 
 fn q_from_terms(m: Weight, internal: &[Weight], volume: &[Weight]) -> f64 {

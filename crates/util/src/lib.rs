@@ -24,6 +24,8 @@
 //!   path (readers, builders, CLI, runtime invariant guards) reports
 //!   through instead of panicking.
 
+#[cfg(feature = "alloc-stats")]
+pub mod alloc_stats;
 pub mod error;
 pub mod pool;
 pub mod rng;

@@ -188,6 +188,11 @@ mod reinterpret {
             && std::mem::align_of::<u32>() >= std::mem::align_of::<AtomicU32>(),
         "u32 is under-aligned or mis-sized for AtomicU32 on this target"
     );
+    const _: () = assert!(
+        std::mem::size_of::<usize>() == std::mem::size_of::<super::AtomicUsize>()
+            && std::mem::align_of::<usize>() >= std::mem::align_of::<super::AtomicUsize>(),
+        "usize is under-aligned or mis-sized for AtomicUsize on this target"
+    );
 
     /// Reinterprets a mutable slice of `u64` as atomic cells.
     #[inline]
@@ -208,9 +213,41 @@ mod reinterpret {
         // at compile time and the `&mut` borrow guarantees uniqueness.
         unsafe { &*(slice as *mut [u32] as *const [AtomicU32]) }
     }
+
+    /// Reinterprets a mutable slice of `usize` as atomic cells (same
+    /// argument as [`as_atomic_u64`]). Lets reusable `Vec<usize>` scratch
+    /// buffers serve as bucket counters without per-level
+    /// `Vec<AtomicUsize>` allocations.
+    #[inline]
+    pub fn as_atomic_usize(slice: &mut [usize]) -> &[super::AtomicUsize] {
+        // SAFETY: as in `as_atomic_u64` — layout compatibility is checked
+        // at compile time and the `&mut` borrow guarantees uniqueness.
+        unsafe { &*(slice as *mut [usize] as *const [super::AtomicUsize]) }
+    }
 }
 #[cfg(not(loom))]
-pub use reinterpret::{as_atomic_u32, as_atomic_u64};
+pub use reinterpret::{as_atomic_u32, as_atomic_u64, as_atomic_usize};
+
+/// A raw pointer blessed for cross-thread sharing during a parallel region
+/// whose tasks write **provably disjoint index ranges** of one exclusively
+/// borrowed allocation (bucket sorting, chunked compaction).
+///
+/// This is the workspace's one sanctioned way to hand rayon tasks
+/// overlapping-lifetime views of a single `&mut` buffer; keeping it here —
+/// in the audited sync layer — rather than ad hoc in each kernel keeps the
+/// disjointness arguments reviewable in one place. Every use site must
+/// state its disjointness proof in a `SAFETY:` comment.
+#[derive(Debug, Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: the pointer is shared only inside a parallel region over storage
+// exclusively borrowed for that region, and each task dereferences a
+// disjoint index range (callers prove this per use site); accesses never
+// alias, so shared references to the wrapper are harmless.
+unsafe impl<T> Sync for SendPtr<T> {}
+// SAFETY: moving the pointer value across threads is trivially fine; every
+// dereference is covered by the caller's disjoint-range argument.
+unsafe impl<T> Send for SendPtr<T> {}
 
 /// A packed `(score, vertex)` proposal key with a total order: primary on
 /// score, secondary on vertex id. Packing both into one `u64` would lose
@@ -404,5 +441,11 @@ mod tests {
             a[1].store(7, RELAXED);
         }
         assert_eq!(w[1], 7);
+        let mut u = vec![0usize; 4];
+        {
+            let a = as_atomic_usize(&mut u);
+            a[3].fetch_add(11, RELAXED);
+        }
+        assert_eq!(u[3], 11);
     }
 }

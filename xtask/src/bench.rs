@@ -1,0 +1,614 @@
+//! `cargo xtask bench` — the JSON benchmark gate.
+//!
+//! Drives `bench_gate` (crates/bench/src/bin/bench_gate.rs), validates the
+//! emitted `parcomm-bench-v1` report against the expected schema, and
+//! compares it with the previous checked-in `BENCH_*.json`: any
+//! (instance, threads, arm) cell whose median end-to-end time regressed by
+//! more than the configured threshold fails the gate.
+//!
+//! Like the lint gate, this module is dependency-free: the JSON reader is
+//! a small recursive-descent parser covering exactly the JSON the harness
+//! emits (no serde in the workspace).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default allowed slowdown: new median may be up to 15% above baseline.
+/// Wide because CI runners are noisy; tighten with `--threshold`.
+const DEFAULT_THRESHOLD: f64 = 1.15;
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut skip_run = false;
+    let mut alloc_stats = false;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut forward: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--smoke" => smoke = true,
+                "--skip-run" => skip_run = true,
+                "--alloc-stats" => alloc_stats = true,
+                "--threshold" => {
+                    threshold = val("--threshold")?
+                        .parse()
+                        .map_err(|_| "bad --threshold".to_string())?;
+                }
+                "--out" => out = Some(val("--out")?),
+                "--baseline" => baseline = Some(val("--baseline")?),
+                // Pass instance-shape flags straight through to bench_gate.
+                "--scale" | "--sbm-vertices" | "--threads" | "--runs" | "--label" => {
+                    forward.push(flag.clone());
+                    forward.push(val(flag)?);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("xtask bench: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    if threshold < 1.0 {
+        eprintln!("xtask bench: --threshold is a ratio >= 1.0 (e.g. 1.15 allows +15%)");
+        return ExitCode::FAILURE;
+    }
+
+    let root = crate::repo_root();
+    let out_path = root.join(out.as_deref().unwrap_or(if smoke {
+        "target/BENCH_smoke.json"
+    } else {
+        "BENCH_pr3.json"
+    }));
+
+    if !skip_run {
+        if let Err(e) = invoke_bench_gate(&root, &out_path, smoke, alloc_stats, &forward) {
+            eprintln!("xtask bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = match load_report(&out_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench: {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "xtask bench: {} is schema-valid ({} result cells)",
+        out_path.display(),
+        report.len()
+    );
+    if smoke {
+        // Smoke mode gates schema and plumbing only; timings on a cold CI
+        // runner at tiny scale carry no signal worth failing on.
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = baseline
+        .map(|b| root.join(b))
+        .or_else(|| previous_report(&root, &out_path));
+    let Some(baseline_path) = baseline_path else {
+        println!("xtask bench: no previous BENCH_*.json found; nothing to compare");
+        return ExitCode::SUCCESS;
+    };
+    let base = match load_report(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench: baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "xtask bench: comparing against {} (threshold {threshold}x)",
+        baseline_path.display()
+    );
+
+    let mut regressions = 0usize;
+    for cell in &report {
+        let Some(old) = base.iter().find(|b| b.key() == cell.key()) else {
+            continue;
+        };
+        let ratio = cell.median_secs / old.median_secs;
+        let verdict = if ratio > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:28} t={:<2} {:5}  {:.4}s -> {:.4}s  ({ratio:.2}x) {verdict}",
+            cell.instance, cell.threads, cell.arm, old.median_secs, cell.median_secs
+        );
+    }
+    if regressions > 0 {
+        eprintln!("xtask bench: {regressions} cell(s) regressed past {threshold}x");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask bench: no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask bench [--smoke] [--skip-run] [--alloc-stats] \
+         [--threshold 1.15] [--out FILE] [--baseline FILE] \
+         [--scale N] [--sbm-vertices N] [--threads 1,2,8] [--runs N] [--label L]"
+    );
+}
+
+fn invoke_bench_gate(
+    root: &Path,
+    out_path: &Path,
+    smoke: bool,
+    alloc_stats: bool,
+    forward: &[String],
+) -> Result<(), String> {
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "--release", "-p", "pcd-bench", "--bin", "bench_gate"]);
+    if alloc_stats {
+        cmd.args(["--features", "alloc-stats"]);
+    }
+    cmd.arg("--");
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    cmd.args(forward);
+    cmd.arg("--out").arg(out_path);
+    let status = cmd
+        .status()
+        .map_err(|e| format!("failed to launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("bench_gate exited with {status}"));
+    }
+    Ok(())
+}
+
+/// Most recently modified `BENCH_*.json` in the repo root other than the
+/// report under test — the previous PR's checked-in baseline.
+fn previous_report(root: &Path, out_path: &Path) -> Option<PathBuf> {
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in std::fs::read_dir(root).ok()?.flatten() {
+        let path = entry.path();
+        let name = path.file_name()?.to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        if path.canonicalize().ok() == out_path.canonicalize().ok() {
+            continue;
+        }
+        let mtime = entry.metadata().ok()?.modified().ok()?;
+        if best.as_ref().is_none_or(|(t, _)| mtime > *t) {
+            best = Some((mtime, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+// ---------------------------------------------------------------------------
+// Report loading: parse + schema validation.
+// ---------------------------------------------------------------------------
+
+/// The fields of one result cell the gate actually compares.
+#[derive(Debug, PartialEq)]
+pub struct Cell {
+    pub instance: String,
+    pub threads: u64,
+    pub arm: String,
+    pub median_secs: f64,
+}
+
+impl Cell {
+    fn key(&self) -> (&str, u64, &str) {
+        (&self.instance, self.threads, &self.arm)
+    }
+}
+
+/// Reads, parses, and schema-checks a report; returns its result cells.
+pub fn load_report(path: &Path) -> Result<Vec<Cell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = parse_json(&text)?;
+    validate_report(&json)
+}
+
+/// Validates the `parcomm-bench-v1` shape and extracts the cells.
+pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
+    let top = json.as_obj().ok_or("top level must be an object")?;
+    let schema = get(top, "schema")?
+        .as_str()
+        .ok_or("\"schema\" must be a string")?;
+    if schema != "parcomm-bench-v1" {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    get(top, "label")?.as_str().ok_or("\"label\" must be a string")?;
+    get(top, "created_unix")?
+        .as_f64()
+        .ok_or("\"created_unix\" must be a number")?;
+    let host = get(top, "host")?.as_obj().ok_or("\"host\" must be an object")?;
+    get(host, "available_parallelism")?
+        .as_f64()
+        .ok_or("host.available_parallelism must be a number")?;
+    let instances = get(top, "instances")?
+        .as_arr()
+        .ok_or("\"instances\" must be an array")?;
+    if instances.is_empty() {
+        return Err("\"instances\" is empty".into());
+    }
+    for inst in instances {
+        let o = inst.as_obj().ok_or("instance entries must be objects")?;
+        get(o, "name")?.as_str().ok_or("instance.name must be a string")?;
+        for k in ["vertices", "edges"] {
+            get(o, k)?
+                .as_f64()
+                .ok_or_else(|| format!("instance.{k} must be a number"))?;
+        }
+    }
+    let results = get(top, "results")?
+        .as_arr()
+        .ok_or("\"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("\"results\" is empty".into());
+    }
+    let mut cells = Vec::new();
+    for r in results {
+        let o = r.as_obj().ok_or("result entries must be objects")?;
+        let instance = o_str(o, "instance")?;
+        let arm = o_str(o, "arm")?;
+        if arm != "reuse" && arm != "fresh" {
+            return Err(format!("result.arm must be reuse|fresh, got {arm:?}"));
+        }
+        let threads = o_num(o, "threads")? as u64;
+        for k in ["runs", "score_secs", "match_secs", "contract_secs", "levels", "modularity"] {
+            o_num(o, k)?;
+        }
+        for k in ["peak_rss_bytes", "allocations"] {
+            let v = get(o, k)?;
+            if !matches!(v, Json::Null) && v.as_f64().is_none() {
+                return Err(format!("result.{k} must be a number or null"));
+            }
+        }
+        let e2e = get(o, "end_to_end_secs")?
+            .as_obj()
+            .ok_or("result.end_to_end_secs must be an object")?;
+        let median = o_num(e2e, "median")?;
+        let (min, max) = (o_num(e2e, "min")?, o_num(e2e, "max")?);
+        if !(min <= median && median <= max && min > 0.0) {
+            return Err(format!(
+                "end_to_end_secs out of order for {instance} t={threads} {arm}"
+            ));
+        }
+        cells.push(Cell {
+            instance,
+            threads,
+            arm,
+            median_secs: median,
+        });
+    }
+    Ok(cells)
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn o_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    Ok(get(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("{key} must be a string"))?
+        .to_string())
+}
+
+fn o_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    get(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("{key} must be a number"))
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON: covers the subset the harness emits (no \u surrogate
+// pairs, numbers via f64).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(obj));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                obj.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(obj));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or("\\u escape out of range")?);
+                    }
+                    other => return Err(format!("unsupported escape \\{}", other as char)),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 sequences from the source.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let width = utf8_width(c);
+                    let chunk = b.get(start..start + width).ok_or("truncated UTF-8")?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?;
+                    out.push_str(s);
+                    *pos = start + width;
+                }
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number bytes")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "schema": "parcomm-bench-v1", "label": "t", "created_unix": 1, "smoke": true,
+      "host": {"available_parallelism": 4, "alloc_stats": false},
+      "instances": [{"name": "rmat-8-16", "vertices": 256, "edges": 1000}],
+      "results": [{
+        "instance": "rmat-8-16", "threads": 2, "arm": "reuse", "runs": 3,
+        "end_to_end_secs": {"min": 0.9, "median": 1.0, "max": 1.2},
+        "score_secs": 0.1, "match_secs": 0.2, "contract_secs": 0.3,
+        "levels": 5, "modularity": 0.4, "input_edges_per_sec": 1e6,
+        "peak_rss_bytes": 1048576, "allocations": null
+      }]
+    }"#;
+
+    #[test]
+    fn parses_and_validates_good_report() {
+        let cells = validate_report(&parse_json(GOOD).unwrap()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].instance, "rmat-8-16");
+        assert_eq!(cells[0].threads, 2);
+        assert_eq!(cells[0].arm, "reuse");
+        assert_eq!(cells[0].median_secs, 1.0);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_keys() {
+        let wrong = GOOD.replace("parcomm-bench-v1", "parcomm-bench-v0");
+        assert!(validate_report(&parse_json(&wrong).unwrap())
+            .unwrap_err()
+            .contains("unknown schema"));
+        let missing = GOOD.replace("\"arm\": \"reuse\",", "");
+        assert!(validate_report(&parse_json(&missing).unwrap())
+            .unwrap_err()
+            .contains("arm"));
+    }
+
+    #[test]
+    fn rejects_bad_arm_and_disordered_stats() {
+        let bad_arm = GOOD.replace("\"reuse\"", "\"warm\"");
+        assert!(validate_report(&parse_json(&bad_arm).unwrap()).is_err());
+        let disordered = GOOD.replace("\"median\": 1.0", "\"median\": 2.0");
+        assert!(validate_report(&parse_json(&disordered).unwrap())
+            .unwrap_err()
+            .contains("out of order"));
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let j = parse_json(r#"{"a": [1, -2.5e-3, "x\n\"yA"], "b": {"c": null}}"#).unwrap();
+        let o = j.as_obj().unwrap();
+        let arr = get(o, "a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-2.5e-3));
+        assert_eq!(arr[2], Json::Str("x\n\"yA".into()));
+        assert!(matches!(
+            get(get(o, "b").unwrap().as_obj().unwrap(), "c").unwrap(),
+            Json::Null
+        ));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn emitted_smoke_report_roundtrips() {
+        // End-to-end wiring check without running cargo: a report written
+        // by the harness's renderer must pass this validator. Kept in a
+        // fixture string so the test has no cross-crate dependency.
+        let cells = validate_report(&parse_json(GOOD).unwrap()).unwrap();
+        assert!(cells.iter().all(|c| c.median_secs > 0.0));
+    }
+}
