@@ -1,13 +1,15 @@
-//! Criterion micro-benchmarks for the three kernel primitives of §III:
-//! scoring, matching (new vs 2011 vs sequential), contraction (bucket-sort
-//! prefix-sum vs fetch-add vs linked-list vs sequential).
+//! Criterion micro-benchmarks for the three kernel primitives of §III,
+//! driven through the `pcd_core::kernel` registry: every registered
+//! scorer, matcher, and contractor is benchmarked under its registry name,
+//! so adding a backend adds a benchmark with no dispatch code here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcd_contract::{bucket, linked, seq as cseq, Placement};
-use pcd_core::{score_all, ScoreContext, ScorerKind};
+use pcd_contract::ContractScratch;
+use pcd_core::kernel::{CONTRACTORS, MATCHERS, SCORERS};
+use pcd_core::{default_match_round_cap, ScoreContext};
 use pcd_gen::{rmat_graph, RmatParams};
-use pcd_graph::Graph;
-use pcd_matching::{edge_sweep, parallel, seq as mseq, Matching};
+use pcd_graph::{Graph, GraphParts};
+use pcd_matching::{MatchScratch, Matching};
 
 fn bench_graph(scale: u32) -> Graph {
     rmat_graph(&RmatParams::paper(scale, 42))
@@ -15,25 +17,29 @@ fn bench_graph(scale: u32) -> Graph {
 
 fn scores_of(g: &Graph) -> Vec<f64> {
     let ctx = ScoreContext::new(g);
-    score_all(ScorerKind::Modularity, g, &ctx)
+    let mut scores = Vec::new();
+    SCORERS[0].score_into(g, &ctx, &mut scores);
+    scores
 }
 
 fn matching_of(g: &Graph, scores: &[f64]) -> Matching {
-    parallel::match_unmatched_list(g, scores)
+    let cap = default_match_round_cap(g.num_vertices());
+    MATCHERS[0]
+        .match_level(g, scores, cap, &mut MatchScratch::new())
+        .matching
 }
 
 fn bench_scoring(c: &mut Criterion) {
     let mut group = c.benchmark_group("scoring");
     for scale in [12u32, 14] {
         let g = bench_graph(scale);
-        group.bench_with_input(BenchmarkId::new("modularity", scale), &g, |b, g| {
-            let ctx = ScoreContext::new(g);
-            b.iter(|| score_all(ScorerKind::Modularity, g, &ctx));
-        });
-        group.bench_with_input(BenchmarkId::new("conductance", scale), &g, |b, g| {
-            let ctx = ScoreContext::new(g);
-            b.iter(|| score_all(ScorerKind::Conductance, g, &ctx));
-        });
+        for scorer in SCORERS {
+            group.bench_with_input(BenchmarkId::new(scorer.name(), scale), &g, |b, g| {
+                let ctx = ScoreContext::new(g);
+                let mut scores = Vec::new();
+                b.iter(|| scorer.score_into(g, &ctx, &mut scores));
+            });
+        }
     }
     group.finish();
 }
@@ -44,15 +50,13 @@ fn bench_matching(c: &mut Criterion) {
     for scale in [12u32, 14] {
         let g = bench_graph(scale);
         let s = scores_of(&g);
-        group.bench_with_input(BenchmarkId::new("unmatched-list", scale), &(), |b, _| {
-            b.iter(|| parallel::match_unmatched_list(&g, &s));
-        });
-        group.bench_with_input(BenchmarkId::new("edge-sweep-2011", scale), &(), |b, _| {
-            b.iter(|| edge_sweep::match_edge_sweep(&g, &s));
-        });
-        group.bench_with_input(BenchmarkId::new("sequential", scale), &(), |b, _| {
-            b.iter(|| mseq::match_sequential_greedy(&g, &s));
-        });
+        let cap = default_match_round_cap(g.num_vertices());
+        for matcher in MATCHERS {
+            group.bench_with_input(BenchmarkId::new(matcher.name(), scale), &(), |b, _| {
+                let mut scratch = MatchScratch::new();
+                b.iter(|| matcher.match_level(&g, &s, cap, &mut scratch));
+            });
+        }
     }
     group.finish();
 }
@@ -64,18 +68,12 @@ fn bench_contraction(c: &mut Criterion) {
         let g = bench_graph(scale);
         let s = scores_of(&g);
         let m = matching_of(&g, &s);
-        group.bench_with_input(BenchmarkId::new("bucket-prefix-sum", scale), &(), |b, _| {
-            b.iter(|| bucket::contract_with_policy(&g, &m, Placement::PrefixSum));
-        });
-        group.bench_with_input(BenchmarkId::new("bucket-fetch-add", scale), &(), |b, _| {
-            b.iter(|| bucket::contract_with_policy(&g, &m, Placement::FetchAdd));
-        });
-        group.bench_with_input(BenchmarkId::new("linked-list-2011", scale), &(), |b, _| {
-            b.iter(|| linked::contract_linked(&g, &m));
-        });
-        group.bench_with_input(BenchmarkId::new("sequential", scale), &(), |b, _| {
-            b.iter(|| cseq::contract_seq(&g, &m));
-        });
+        for contractor in CONTRACTORS {
+            group.bench_with_input(BenchmarkId::new(contractor.name(), scale), &(), |b, _| {
+                let mut scratch = ContractScratch::new();
+                b.iter(|| contractor.contract_level(&g, &m, &mut scratch, GraphParts::default()));
+            });
+        }
     }
     group.finish();
 }

@@ -4,9 +4,19 @@
 //! set of thread counts, with both level-loop arms — scratch **reuse**
 //! (the default, retained arenas + graph ping-pong) and **fresh** (the
 //! ablation that rebuilds every buffer each level) — and writes a single
-//! machine-readable JSON report. `cargo xtask bench` wraps this binary,
-//! validates the schema, and compares the report against the previous
-//! checked-in `BENCH_*.json` with a configurable regression threshold.
+//! machine-readable JSON report. A batched section measures the engine's
+//! `detect_many` entry point (**batch-warm**: one long-lived [`Detector`]
+//! per rayon worker, arenas stay warm across graphs) against a fresh
+//! engine per graph under the same pool (**batch-cold**), so warm-arena
+//! reuse across independent inputs is a gated number. `cargo xtask bench`
+//! wraps this binary, validates the schema, and compares the report
+//! against the previous checked-in `BENCH_*.json` with a configurable
+//! regression threshold.
+//!
+//! Per-kernel phase sums come from a [`LevelObserver`] attached to the
+//! measured run — the same hook the CLI's `--progress` uses — rather than
+//! from post-hoc `LevelStats` summation, so they also include the score
+//! phase of the terminal level that stops the loop.
 //!
 //! Schema (`parcomm-bench-v1`): one top-level object with `schema`,
 //! `label`, `created_unix`, `host` (thread count, alloc-stats on/off) and
@@ -22,11 +32,13 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use pcd_core::{detect, Config, DetectionResult};
+use pcd_core::{detect_many, Config, DetectionResult, Detector, LevelObserver};
 use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
 use pcd_graph::Graph;
 use pcd_util::pool::with_threads;
 use pcd_util::timing::{RunStats, Timer};
+use pcd_util::Phase;
+use rayon::prelude::*;
 
 #[cfg(feature = "alloc-stats")]
 #[global_allocator]
@@ -34,6 +46,9 @@ static ALLOC: pcd_util::alloc_stats::CountingAlloc = pcd_util::alloc_stats::Coun
 
 /// Pinned instance seed: every report benchmarks bit-identical graphs.
 const SEED: u64 = 42;
+
+/// Graphs per batched `detect_many` cell.
+const BATCH_SIZE: usize = 4;
 
 struct Args {
     /// R-MAT scale (2^scale vertices); the acceptance run uses 20.
@@ -94,6 +109,12 @@ impl Args {
         }
         Ok(a)
     }
+
+    /// Batch graphs are two scales smaller than the headline R-MAT so one
+    /// batch costs about as much as one single-instance cell.
+    fn batch_scale(&self) -> u32 {
+        self.rmat_scale.saturating_sub(2).max(4)
+    }
 }
 
 fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -114,6 +135,24 @@ struct Record {
     modularity: f64,
     peak_rss_bytes: Option<u64>,
     allocations: Option<u64>,
+}
+
+/// Accumulates per-phase seconds through the engine's observer hook.
+#[derive(Default)]
+struct PhaseTimes {
+    score: f64,
+    matching: f64,
+    contract: f64,
+}
+
+impl LevelObserver for PhaseTimes {
+    fn on_phase_end(&mut self, _level: usize, phase: Phase, secs: f64) {
+        match phase {
+            Phase::Score => self.score += secs,
+            Phase::Match => self.matching += secs,
+            Phase::Contract => self.contract += secs,
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -143,25 +182,41 @@ fn main() -> ExitCode {
             sbm_graph(&SbmParams::livejournal_like(args.sbm_vertices, SEED + 1)).graph,
         ),
     ];
+    let batch_scale = args.batch_scale();
+    let batch: Vec<Graph> = (0..BATCH_SIZE)
+        .map(|i| rmat_graph(&RmatParams::paper(batch_scale, SEED + 100 + i as u64)))
+        .collect();
+    let batch_name = format!("rmat-{batch_scale}-16-x{BATCH_SIZE}");
 
     let mut records = Vec::new();
     for (name, g) in &instances {
         for &t in &args.threads {
             for (arm, reuse) in [("reuse", true), ("fresh", false)] {
                 records.push(measure(name, g, t, arm, reuse, args.runs));
-                let r = records.last().unwrap();
-                eprintln!(
-                    "  {name} t={t} {arm}: median {:.4}s (score {:.4} match {:.4} contract {:.4})",
-                    r.end_to_end.median(),
-                    r.score_secs,
-                    r.match_secs,
-                    r.contract_secs
-                );
+                report_cell(records.last().unwrap());
             }
         }
     }
+    for &t in &args.threads {
+        for (arm, warm) in [("batch-warm", true), ("batch-cold", false)] {
+            records.push(measure_batch(&batch_name, &batch, t, arm, warm, args.runs));
+            report_cell(records.last().unwrap());
+        }
+    }
 
-    let json = render(&args, &instances, &records);
+    // Instance table: the two headline graphs plus the batch as one entry
+    // (vertex/edge totals across its graphs).
+    let mut summaries: Vec<(String, usize, usize)> = instances
+        .iter()
+        .map(|(name, g)| (name.clone(), g.num_vertices(), g.num_edges()))
+        .collect();
+    summaries.push((
+        batch_name,
+        batch.iter().map(Graph::num_vertices).sum(),
+        batch.iter().map(Graph::num_edges).sum(),
+    ));
+
+    let json = render(&args, &summaries, &records);
     if let Err(e) = std::fs::write(&args.out, json) {
         eprintln!("bench_gate: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;
@@ -170,36 +225,117 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn report_cell(r: &Record) {
+    eprintln!(
+        "  {} t={} {}: median {:.4}s (score {:.4} match {:.4} contract {:.4})",
+        r.instance,
+        r.threads,
+        r.arm,
+        r.end_to_end.median(),
+        r.score_secs,
+        r.match_secs,
+        r.contract_secs
+    );
+}
+
 fn measure(name: &str, g: &Graph, threads: usize, arm: &'static str, reuse: bool, runs: usize) -> Record {
     let cfg = Config::default().with_scratch_reuse(reuse);
     let mut samples = Vec::with_capacity(runs);
-    let mut last: Option<DetectionResult> = None;
+    let mut last: Option<(DetectionResult, PhaseTimes)> = None;
     let mut allocations = None;
     for _ in 0..runs {
         let graph = g.clone();
         let cfg = cfg.clone();
         let before = alloc_count();
         let timer = Timer::start();
-        let result = with_threads(threads, move || detect(graph, &cfg));
+        let outcome = with_threads(threads, move || {
+            let mut engine = Detector::new(cfg).expect("default config is valid");
+            let mut phases = PhaseTimes::default();
+            let result = engine
+                .run_observed(graph, &mut phases)
+                .expect("bench instance detects cleanly");
+            (result, phases)
+        });
         samples.push(timer.elapsed_secs());
         allocations = alloc_count().zip(before).map(|(a, b)| a - b);
-        last = Some(result);
+        last = Some(outcome);
     }
-    let result = last.expect("runs >= 1");
+    let (result, phases) = last.expect("runs >= 1");
     Record {
         instance: name.into(),
         input_edges: g.num_edges(),
         threads,
         arm,
         end_to_end: RunStats::new(samples),
-        score_secs: result.levels.iter().map(|l| l.score_secs).sum(),
-        match_secs: result.levels.iter().map(|l| l.match_secs).sum(),
-        contract_secs: result.levels.iter().map(|l| l.contract_secs).sum(),
+        score_secs: phases.score,
+        match_secs: phases.matching,
+        contract_secs: phases.contract,
         levels: result.levels.len(),
         modularity: result.modularity,
         peak_rss_bytes: peak_rss_bytes(),
         allocations,
     }
+}
+
+/// One batched cell: all graphs detected under one `with_threads` pool.
+/// `warm` routes through [`detect_many`] (per-worker engines, arenas
+/// reused across graphs); cold builds a fresh engine per graph with the
+/// same parallel structure, so the only difference is arena reuse.
+fn measure_batch(
+    name: &str,
+    graphs: &[Graph],
+    threads: usize,
+    arm: &'static str,
+    warm: bool,
+    runs: usize,
+) -> Record {
+    let cfg = Config::default();
+    let mut samples = Vec::with_capacity(runs);
+    let mut last: Option<Vec<DetectionResult>> = None;
+    let mut allocations = None;
+    for _ in 0..runs {
+        let batch: Vec<Graph> = graphs.to_vec();
+        let cfg = cfg.clone();
+        let before = alloc_count();
+        let timer = Timer::start();
+        let results = with_threads(threads, move || {
+            if warm {
+                detect_many(batch, &cfg).expect("bench batch detects cleanly")
+            } else {
+                batch
+                    .into_par_iter()
+                    .map(|g| {
+                        Detector::new(cfg.clone())
+                            .expect("default config is valid")
+                            .run(g)
+                            .expect("bench batch detects cleanly")
+                    })
+                    .collect()
+            }
+        });
+        samples.push(timer.elapsed_secs());
+        allocations = alloc_count().zip(before).map(|(a, b)| a - b);
+        last = Some(results);
+    }
+    let results = last.expect("runs >= 1");
+    Record {
+        instance: name.into(),
+        input_edges: graphs.iter().map(Graph::num_edges).sum(),
+        threads,
+        arm,
+        end_to_end: RunStats::new(samples),
+        score_secs: sum_levels(&results, |l| l.score_secs),
+        match_secs: sum_levels(&results, |l| l.match_secs),
+        contract_secs: sum_levels(&results, |l| l.contract_secs),
+        levels: results.iter().map(|r| r.levels.len()).sum(),
+        modularity: results.iter().map(|r| r.modularity).sum::<f64>() / results.len() as f64,
+        peak_rss_bytes: peak_rss_bytes(),
+        allocations,
+    }
+}
+
+fn sum_levels(results: &[DetectionResult], f: impl Fn(&pcd_core::LevelStats) -> f64) -> f64 {
+    results.iter().flat_map(|r| r.levels.iter()).map(f).sum()
 }
 
 /// Heap allocation count so far, when the counting allocator is installed.
@@ -225,7 +361,7 @@ fn peak_rss_bytes() -> Option<u64> {
     Some(kib * 1024)
 }
 
-fn render(args: &Args, instances: &[(String, Graph)], records: &[Record]) -> String {
+fn render(args: &Args, instances: &[(String, usize, usize)], records: &[Record]) -> String {
     let created = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -245,13 +381,11 @@ fn render(args: &Args, instances: &[(String, Graph)], records: &[Record]) -> Str
     let _ = writeln!(s, "    \"alloc_stats\": {}", cfg!(feature = "alloc-stats"));
     s.push_str("  },\n");
     s.push_str("  \"instances\": [\n");
-    for (i, (name, g)) in instances.iter().enumerate() {
+    for (i, (name, vertices, edges)) in instances.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"name\": {}, \"vertices\": {}, \"edges\": {}}}",
-            json_str(name),
-            g.num_vertices(),
-            g.num_edges()
+            "    {{\"name\": {}, \"vertices\": {vertices}, \"edges\": {edges}}}",
+            json_str(name)
         );
         s.push_str(if i + 1 < instances.len() { ",\n" } else { "\n" });
     }

@@ -279,6 +279,19 @@ impl Config {
         }
         Ok(())
     }
+
+    /// Validates, then resolves the three kernel kinds against the static
+    /// registry ([`crate::kernel`]) — once, up front. The engine dispatches
+    /// through the returned [`KernelSet`](crate::kernel::KernelSet) for the
+    /// whole run instead of re-matching on the enums every level.
+    pub fn resolve(&self) -> Result<crate::kernel::KernelSet, PcdError> {
+        self.validate()?;
+        Ok(crate::kernel::KernelSet::from_kinds(
+            self.scorer,
+            self.matcher,
+            self.contractor,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +366,18 @@ mod tests {
         assert!(Paranoia::Full > Paranoia::Cheap);
         assert!(Paranoia::Cheap > Paranoia::Off);
         assert_eq!(Paranoia::default(), Paranoia::Off);
+    }
+
+    #[test]
+    fn resolve_yields_matching_kernels_and_validates() {
+        let set = Config::legacy_2011().resolve().unwrap();
+        assert_eq!(set.scorer.kind(), ScorerKind::Modularity);
+        assert_eq!(set.matcher.kind(), MatcherKind::EdgeSweep);
+        assert_eq!(set.contractor.kind(), ContractorKind::Linked);
+        assert!(Config::default()
+            .with_max_match_rounds(0)
+            .resolve()
+            .is_err());
     }
 
     #[test]

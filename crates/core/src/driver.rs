@@ -1,18 +1,18 @@
-//! The agglomerative main loop (§III): score → match → contract, until a
-//! local maximum or an external criterion.
+//! One-shot entry points for the agglomerative main loop (§III).
+//!
+//! The loop itself lives in [`crate::engine`]: [`detect`] and
+//! [`try_detect`] construct a throwaway [`Detector`] per call, which
+//! resolves the configuration's kernel kinds through the trait registry
+//! ([`crate::kernel`]) and runs score → match → contract until a local
+//! maximum or an external criterion. Callers running many detections keep
+//! a [`Detector`] (or use [`crate::detect_many`]) to reuse its warm
+//! scratch arenas; outputs are bit-identical either way.
 
-use crate::config::{default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia};
-use crate::result::{DetectionResult, LevelStats, StopReason};
-use crate::scorer::{any_positive, mask_oversized, score_all_into};
-use crate::scratch::LevelScratch;
-use crate::termination::{any_stops, LevelState};
-use pcd_contract::{bucket, linked, seq as contract_seq, ContractScratch, Placement};
-use pcd_graph::{Graph, GraphParts};
-use pcd_matching::{edge_sweep, parallel, seq as match_seq, MatchScratch, Matching};
-use pcd_util::sync::{as_atomic_u64, RELAXED};
-use pcd_util::timing::Timer;
-use pcd_util::{PcdError, Phase, VertexId, Weight};
-use rayon::prelude::*;
+use crate::config::Config;
+use crate::engine::Detector;
+use crate::result::DetectionResult;
+use pcd_graph::Graph;
+use pcd_util::PcdError;
 
 /// Runs agglomerative community detection over `graph` under `config`.
 ///
@@ -31,342 +31,14 @@ pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
 /// phase, returning [`PcdError::InvariantViolation`] instead of producing
 /// a silently corrupt hierarchy.
 pub fn try_detect(graph: Graph, config: &Config) -> Result<DetectionResult, PcdError> {
-    config.validate()?;
-    let t_total = Timer::start();
-    let n0 = graph.num_vertices();
-
-    // Original-vertex → current-community mapping, and original-vertex
-    // counts per current community.
-    let mut assignment: Vec<VertexId> = (0..n0 as u32).collect();
-    let mut counts: Vec<Weight> = vec![1; n0];
-    let mut g = graph;
-    let mut levels: Vec<LevelStats> = Vec::new();
-    let mut level_maps: Vec<Vec<VertexId>> = Vec::new();
-    let mut scratch = LevelScratch::new();
-    scratch.ctx.refresh(&g);
-    let stop_reason;
-
-    loop {
-        if !config.reuse_scratch {
-            // Ablation arm: rebuild the arena from empty every level, the
-            // pre-reuse allocation behaviour. Same code path, identical
-            // outputs.
-            scratch = LevelScratch::new();
-            scratch.ctx.refresh(&g);
-        }
-        let level = levels.len() + 1;
-        let (nv, ne) = (g.num_vertices(), g.num_edges());
-
-        // --- Phase 1: score.
-        let t = Timer::start();
-        score_all_into(config.scorer, &g, &scratch.ctx, &mut scratch.scores);
-        if let Some(max_size) = config.max_community_size {
-            mask_oversized(&g, &mut scratch.scores, &counts, max_size);
-        }
-        #[cfg(feature = "fault-injection")]
-        config.fault.corrupt_scores(level, &mut scratch.scores);
-        if config.paranoia >= Paranoia::Cheap {
-            guard_scores_finite(level, &scratch.scores)?;
-        }
-        let score_secs = t.elapsed_secs();
-
-        if !any_positive(&scratch.scores) {
-            stop_reason = StopReason::LocalMaximum;
-            break;
-        }
-
-        // --- Phase 2: match.
-        let t = Timer::start();
-        #[allow(unused_mut)]
-        let (mut matching, rounds, degraded) =
-            run_matcher(config, &g, &scratch.scores, &mut scratch.matching);
-        #[cfg(feature = "fault-injection")]
-        config.fault.corrupt_matching(level, &mut matching);
-        if config.paranoia >= Paranoia::Full {
-            pcd_matching::verify::verify_matching(&g, &scratch.scores, &matching)
-                .map_err(|detail| PcdError::invariant(level, Phase::Match, detail))?;
-        }
-        let match_secs = t.elapsed_secs();
-        if matching.is_empty() {
-            stop_reason = StopReason::NoMatches;
-            break;
-        }
-
-        // --- Phase 3: contract. The next graph scatters into the shadow
-        // storage (the graph retired two levels ago); the old→new map
-        // lands in the contract scratch.
-        let t = Timer::start();
-        let parts = scratch.take_parts();
-        #[allow(unused_mut)]
-        let (mut next, mut num_new) =
-            run_contractor(config.contractor, &g, &matching, &mut scratch.contract, parts);
-        #[cfg(feature = "fault-injection")]
-        {
-            // The fault hook mutates a `Contraction`; round-trip through
-            // one so injected faults land exactly as before.
-            let mut c = pcd_contract::Contraction {
-                graph: next,
-                new_of_old: scratch.contract.take_new_of_old(),
-                num_new,
-            };
-            config.fault.corrupt_contraction(level, &mut c);
-            scratch.contract.set_new_of_old(c.new_of_old);
-            next = c.graph;
-            num_new = c.num_new;
-        }
-        if config.paranoia >= Paranoia::Cheap {
-            guard_contraction(
-                level,
-                config.paranoia,
-                &g,
-                &matching,
-                &next,
-                scratch.contract.new_of_old(),
-                num_new,
-            )?;
-        }
-        let contract_secs = t.elapsed_secs();
-
-        // Fold the level into the hierarchy state.
-        let new_of_old = scratch.contract.new_of_old();
-        assignment.par_iter_mut().for_each(|a| {
-            *a = new_of_old[*a as usize];
-        });
-        scratch.counts_next.clear();
-        scratch.counts_next.resize(num_new, 0);
-        {
-            let cells = as_atomic_u64(&mut scratch.counts_next);
-            counts.par_iter().enumerate().for_each(|(old, &c)| {
-                cells[new_of_old[old] as usize].fetch_add(c, RELAXED);
-            });
-        }
-        std::mem::swap(&mut counts, &mut scratch.counts_next);
-        // Volumes are conserved exactly under pair merges, so the next
-        // level's volumes are a fold of this level's — no recompute.
-        scratch.vol_next.clear();
-        scratch.vol_next.resize(num_new, 0);
-        {
-            let cells = as_atomic_u64(&mut scratch.vol_next);
-            scratch.ctx.vol.par_iter().enumerate().for_each(|(old, &v)| {
-                cells[new_of_old[old] as usize].fetch_add(v, RELAXED);
-            });
-        }
-        std::mem::swap(&mut scratch.ctx.vol, &mut scratch.vol_next);
-        let pairs = matching.len();
-        scratch.matching.recycle(matching);
-        if config.record_levels {
-            level_maps.push(scratch.contract.take_new_of_old());
-        }
-        // Ping-pong: the outgoing graph's storage becomes the shadow for
-        // the next contraction.
-        let retired = std::mem::replace(&mut g, next);
-        if config.reuse_scratch {
-            scratch.store_parts(retired);
-        }
-        debug_assert_eq!(scratch.ctx.vol, g.volumes(), "volume fold drifted");
-
-        let coverage = g.coverage();
-        let modularity = pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol);
-        levels.push(LevelStats {
-            level,
-            num_vertices: nv,
-            num_edges: ne,
-            pairs_merged: pairs,
-            match_rounds: rounds,
-            matcher_degraded: degraded,
-            modularity,
-            coverage,
-            score_secs,
-            match_secs,
-            contract_secs,
-        });
-
-        let state = LevelState {
-            level,
-            num_communities: g.num_vertices(),
-            coverage,
-            largest_community: counts.iter().copied().max().unwrap_or(0),
-        };
-        if any_stops(&config.criteria, &state) {
-            stop_reason = StopReason::Criterion;
-            break;
-        }
-    }
-
-    Ok(DetectionResult {
-        num_communities: g.num_vertices(),
-        modularity: pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol),
-        coverage: g.coverage(),
-        community_vertex_counts: counts,
-        community_graph: g,
-        assignment,
-        levels,
-        level_maps,
-        stop_reason,
-        total_secs: t_total.elapsed_secs(),
-    })
-}
-
-/// Runs the configured matcher. The unmatched-list kernel runs under the
-/// watchdog round cap ([`Config::max_match_rounds`], defaulting to
-/// [`default_match_round_cap`]); the returned flag reports whether it
-/// degraded to the sequential fallback. The other kernels have statically
-/// bounded pass counts and never degrade.
-fn run_matcher(
-    config: &Config,
-    g: &Graph,
-    scores: &[f64],
-    scratch: &mut MatchScratch,
-) -> (Matching, usize, bool) {
-    let out = match config.matcher {
-        MatcherKind::UnmatchedList => {
-            let cap = config
-                .max_match_rounds
-                .unwrap_or_else(|| default_match_round_cap(g.num_vertices()));
-            let o = parallel::match_unmatched_list_scratch(g, scores, cap, scratch);
-            (o.matching, o.rounds, o.degraded)
-        }
-        MatcherKind::EdgeSweep => {
-            let (m, sweeps) = edge_sweep::match_edge_sweep_stats(g, scores);
-            (m, sweeps, false)
-        }
-        MatcherKind::Sequential => (match_seq::match_sequential_greedy(g, scores), 1, false),
-    };
-    debug_assert_eq!(
-        pcd_matching::verify::verify_matching(g, scores, &out.0),
-        Ok(())
-    );
-    out
-}
-
-/// Cheap-paranoia guard: every edge score must be finite. NaN in a score
-/// array poisons the matcher's total order silently (every comparison is
-/// false), so it is caught here rather than downstream.
-fn guard_scores_finite(level: usize, scores: &[f64]) -> Result<(), PcdError> {
-    if scores.par_iter().all(|s| s.is_finite()) {
-        return Ok(());
-    }
-    let e = scores.iter().position(|s| !s.is_finite()).unwrap();
-    Err(PcdError::invariant(
-        level,
-        Phase::Score,
-        format!("edge {e} has non-finite score {}", scores[e]),
-    ))
-}
-
-/// Contraction guards. Cheap level: conservation of total edge weight,
-/// conservation of internal (self-loop) weight given the matched edges,
-/// and a well-formed old→new map. Full level additionally revalidates the
-/// whole contracted graph structure.
-#[allow(clippy::too_many_arguments)]
-fn guard_contraction(
-    level: usize,
-    paranoia: Paranoia,
-    g: &Graph,
-    matching: &Matching,
-    next: &Graph,
-    new_of_old: &[VertexId],
-    num_new: usize,
-) -> Result<(), PcdError> {
-    let fail = |detail: String| Err(PcdError::invariant(level, Phase::Contract, detail));
-
-    if new_of_old.len() != g.num_vertices() {
-        return fail(format!(
-            "old→new map covers {} vertices, parent graph has {}",
-            new_of_old.len(),
-            g.num_vertices()
-        ));
-    }
-    if num_new != next.num_vertices() {
-        return fail(format!(
-            "num_new = {} but contracted graph has {} vertices",
-            num_new,
-            next.num_vertices()
-        ));
-    }
-    if let Some(old) = new_of_old
-        .par_iter()
-        .position_any(|&n| n as usize >= num_new)
-    {
-        return fail(format!(
-            "new_of_old[{old}] = {} out of range for {} communities",
-            new_of_old[old], num_new
-        ));
-    }
-    // Recompute the child's total from its arrays: `contract_into` stamps
-    // the parent's total by construction, so trusting `total_weight()`
-    // here would make conservation a tautology.
-    let next_total: Weight = next.weights().par_iter().sum::<Weight>()
-        + next.self_loops().par_iter().sum::<Weight>();
-    if next_total != g.total_weight() {
-        return fail(format!(
-            "total edge weight not conserved: {} before, {} after",
-            g.total_weight(),
-            next_total
-        ));
-    }
-    if next.total_weight() != next_total {
-        return fail(format!(
-            "contracted graph's stored total {} disagrees with its arrays ({next_total})",
-            next.total_weight()
-        ));
-    }
-    let matched_weight: Weight = matching
-        .matched_edges()
-        .iter()
-        .map(|&e| g.weights()[e])
-        .sum();
-    let expected_internal = g.internal_weight() + matched_weight;
-    if next.internal_weight() != expected_internal {
-        return fail(format!(
-            "internal weight {} != parent internal {} + matched {}",
-            next.internal_weight(),
-            g.internal_weight(),
-            matched_weight
-        ));
-    }
-    if paranoia >= Paranoia::Full {
-        if let Err(msg) = next.validate() {
-            return fail(format!("contracted graph fails validation: {msg}"));
-        }
-    }
-    Ok(())
-}
-
-/// Runs the configured contractor. The bucket kernels scatter into the
-/// recycled `parts` and leave the old→new map in `scratch`; the baseline
-/// and oracle kernels go through the owning API (dropping `parts`) and
-/// deposit their map into `scratch` afterwards, so the driver's fold path
-/// is uniform.
-fn run_contractor(
-    kind: ContractorKind,
-    g: &Graph,
-    m: &Matching,
-    scratch: &mut ContractScratch,
-    parts: GraphParts,
-) -> (Graph, usize) {
-    match kind {
-        ContractorKind::Bucket => bucket::contract_into(g, m, Placement::PrefixSum, scratch, parts),
-        ContractorKind::BucketFetchAdd => {
-            bucket::contract_into(g, m, Placement::FetchAdd, scratch, parts)
-        }
-        ContractorKind::Linked => {
-            let c = linked::contract_linked(g, m);
-            scratch.set_new_of_old(c.new_of_old);
-            (c.graph, c.num_new)
-        }
-        ContractorKind::Sequential => {
-            let c = contract_seq::contract_seq(g, m);
-            scratch.set_new_of_old(c.new_of_old);
-            (c.graph, c.num_new)
-        }
-    }
+    Detector::new(config.clone())?.run(graph)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ScorerKind;
+    use crate::config::{ContractorKind, MatcherKind, Paranoia, ScorerKind};
+    use crate::result::StopReason;
     use crate::termination::Criterion;
 
     #[test]

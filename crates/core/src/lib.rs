@@ -12,19 +12,28 @@
 //! while tracking the original-vertex → community mapping, per-community
 //! vertex counts, per-level quality and phase timings.
 //!
-//! ```
-//! use pcd_core::{detect, Config};
+//! The loop dispatches through the [`kernel`] trait layer: a [`Config`]'s
+//! kind enums resolve once into a [`kernel::KernelSet`], and the
+//! [`engine::Detector`] owns that set plus the warm scratch arenas so
+//! repeated detections reuse buffers.
 //!
+//! ```
+//! use pcd_core::{Config, Detector};
+//!
+//! let mut engine = Detector::new(Config::default()).unwrap();
 //! let graph = pcd_gen::classic::clique_ring(8, 6);
-//! let result = detect(graph, &Config::default());
+//! let result = engine.run(graph).unwrap();
 //! assert!(result.modularity > 0.5);
 //! ```
 
 pub mod config;
 pub mod driver;
+pub mod engine;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+pub mod kernel;
 pub mod multilevel;
+pub mod observer;
 pub mod refine;
 pub mod result;
 pub mod scorer;
@@ -35,11 +44,14 @@ pub use config::{
     default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia, ScorerKind,
 };
 pub use driver::{detect, try_detect};
+pub use engine::{detect_many, Detector};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;
+pub use kernel::{Contractor, KernelSet, Matcher, Scorer};
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
-pub use refine::{detect_refined, refine, Refinement};
+pub use observer::{LevelObserver, NoopObserver};
+pub use refine::{detect_refined, refine, refine_detected, Refinement};
 pub use result::{DetectionResult, LevelStats};
-pub use scorer::{score_all, score_all_into, ScoreContext};
+pub use scorer::{score_all_into, ScoreContext};
 pub use scratch::LevelScratch;
 pub use termination::Criterion;

@@ -10,8 +10,9 @@
 //! there, so coarse-grained moves (whole sub-communities) happen cheaply
 //! on small graphs and fine-grained fixes on the original.
 
+use crate::engine::Detector;
 use crate::refine::refine;
-use crate::{detect, Config, DetectionResult};
+use crate::{Config, DetectionResult};
 use pcd_graph::Graph;
 use pcd_spmat::contract_spgemm;
 use pcd_util::VertexId;
@@ -41,7 +42,11 @@ pub fn detect_multilevel(
     let mut cfg = config.clone();
     cfg.record_levels = true;
     let original = graph.clone();
-    let result = detect(graph, &cfg);
+    // Same panic semantics as `detect`, routed through the engine so the
+    // kernel kinds resolve once for the whole V-cycle's base detection.
+    let result = Detector::new(cfg)
+        .and_then(|mut det| det.run(graph))
+        .unwrap_or_else(|e| panic!("community detection failed: {e}"));
     let outcome = refine_multilevel(&original, &result, sweeps_per_level);
     (result, outcome)
 }
@@ -109,6 +114,7 @@ fn level_count(assignment: &[VertexId]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detect;
 
     #[test]
     fn multilevel_never_hurts() {

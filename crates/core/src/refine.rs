@@ -146,13 +146,24 @@ pub fn detect_refined(
     refine_sweeps: usize,
 ) -> (crate::DetectionResult, Refinement) {
     let original = graph.clone();
-    let mut result = crate::detect(graph, config);
-    let refinement = refine(&original, &result.assignment, refine_sweeps);
+    let result = crate::detect(graph, config);
+    refine_detected(&original, result, refine_sweeps)
+}
+
+/// Refines an already-computed detection of `original` (e.g. one produced
+/// by an observed [`crate::Detector`] run), folding the refined partition
+/// back into the result's assignment, counts, and quality fields.
+pub fn refine_detected(
+    original: &Graph,
+    mut result: crate::DetectionResult,
+    refine_sweeps: usize,
+) -> (crate::DetectionResult, Refinement) {
+    let refinement = refine(original, &result.assignment, refine_sweeps);
     let (dense, k) = pcd_metrics::compact_labels(&refinement.assignment);
     result.assignment = dense;
     result.num_communities = k;
     result.modularity = refinement.q_after;
-    result.coverage = pcd_metrics::coverage(&original, &result.assignment);
+    result.coverage = pcd_metrics::coverage(original, &result.assignment);
     // Recompute vertex counts for the refined assignment.
     let mut counts = vec![0u64; k];
     for &a in &result.assignment {

@@ -67,15 +67,10 @@ pub fn score_edge(kind: ScorerKind, g: &Graph, ctx: &ScoreContext, e: usize) -> 
     }
 }
 
-/// Scores every edge in parallel into an `|E|`-long array.
-pub fn score_all(kind: ScorerKind, g: &Graph, ctx: &ScoreContext) -> Vec<f64> {
-    let mut out = Vec::new();
-    score_all_into(kind, g, ctx, &mut out);
-    out
-}
-
-/// As [`score_all`], writing into a reused buffer (cleared first; capacity
-/// is retained, so steady-state scoring allocates nothing).
+/// Scores every edge in parallel, writing into a reused buffer (cleared
+/// first; capacity is retained, so steady-state scoring allocates
+/// nothing). The old allocating `score_all` was removed — callers that
+/// want a fresh `Vec` pass `&mut Vec::new()`.
 pub fn score_all_into(kind: ScorerKind, g: &Graph, ctx: &ScoreContext, out: &mut Vec<f64>) {
     out.clear();
     out.resize(g.num_edges(), 0.0);
@@ -105,6 +100,13 @@ pub fn any_positive(scores: &[f64]) -> bool {
 mod tests {
     use super::*;
     use pcd_graph::GraphBuilder;
+
+    // Test-local convenience over the buffer-reusing entry point.
+    fn score_all(kind: ScorerKind, g: &Graph, ctx: &ScoreContext) -> Vec<f64> {
+        let mut out = Vec::new();
+        score_all_into(kind, g, ctx, &mut out);
+        out
+    }
 
     #[test]
     fn modularity_scores_match_delta_formula() {

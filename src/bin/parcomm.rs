@@ -8,9 +8,11 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use parcomm::core::refine::detect_refined;
-use parcomm::core::{try_detect, Paranoia};
+use parcomm::core::refine::refine_detected;
+use parcomm::core::result::LevelStats;
+use parcomm::core::{kernel, DetectionResult, Paranoia};
 use parcomm::prelude::*;
+use parcomm::util::Phase;
 use parcomm::util::PcdError;
 use std::io::Write;
 use std::path::PathBuf;
@@ -18,6 +20,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: parcomm <command> [options]
+       parcomm --list-kernels    enumerate registered kernel backends
 
 commands:
   gen <rmat|sbm|web|lfr|clique-ring|karate> [options] -o <file>
@@ -46,6 +49,7 @@ detect options:
   --threads N      rayon pool size (0 = default)
   --paranoia off|cheap|full   runtime invariant guards (default off)
   --max-match-rounds N        matcher watchdog cap (default 4*ceil(log2 nv)+64)
+  --progress       print per-level phase progress to stderr (no value)
   --assignments FILE   write \"vertex community\" lines
 
 seed options:
@@ -63,6 +67,10 @@ fn main() -> ExitCode {
         || args.first().map(String::as_str) == Some("help")
     {
         println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("--list-kernels") {
+        print_kernels();
         return ExitCode::SUCCESS;
     }
     let Some(cmd) = args.first() else {
@@ -94,13 +102,35 @@ fn main() -> ExitCode {
     }
 }
 
+/// Enumerates the kernel registry (`parcomm --list-kernels`): one line per
+/// backend, grouped by phase, names matching the `detect` flag spellings.
+fn print_kernels() {
+    println!("scorers (--scorer):");
+    for s in kernel::SCORERS {
+        println!("  {:<18} {}", s.name(), s.description());
+    }
+    println!("matchers:");
+    for m in kernel::MATCHERS {
+        println!("  {:<18} {}", m.name(), m.description());
+    }
+    println!("contractors:");
+    for c in kernel::CONTRACTORS {
+        println!("  {:<18} {}", c.name(), c.description());
+    }
+}
+
+/// Flags that take no value (presence-only switches). Everything else in
+/// this CLI takes exactly one value.
+const BOOL_FLAGS: &[&str] = &["--progress"];
+
 struct Flags<'a>(&'a [String]);
 
 impl<'a> Flags<'a> {
     /// Rejects any `--flag` (or `-x` shorthand) not in `allowed`, so a
     /// typo like `--converage 0.5` fails loudly instead of being silently
-    /// ignored (and then treated as two positionals). Every flag in this
-    /// CLI takes a value, so a flag with nothing after it is also an error.
+    /// ignored (and then treated as two positionals). Every flag outside
+    /// [`BOOL_FLAGS`] takes a value, so a flag with nothing after it is
+    /// also an error.
     fn check_allowed(&self, cmd: &str, allowed: &[&str]) -> Result<(), PcdError> {
         let mut i = 0;
         while i < self.0.len() {
@@ -116,6 +146,10 @@ impl<'a> Flags<'a> {
                         }
                     )));
                 }
+                if BOOL_FLAGS.contains(&a.as_str()) {
+                    i += 1;
+                    continue;
+                }
                 if i + 1 >= self.0.len() {
                     return Err(PcdError::usage(format!("{cmd}: {a} requires a value")));
                 }
@@ -125,6 +159,13 @@ impl<'a> Flags<'a> {
             }
         }
         Ok(())
+    }
+
+    /// True if the presence-only flag `name` (a [`BOOL_FLAGS`] member) was
+    /// given.
+    fn has(&self, name: &str) -> bool {
+        debug_assert!(BOOL_FLAGS.contains(&name));
+        self.0.iter().any(|a| a == name)
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -160,7 +201,7 @@ impl<'a> Flags<'a> {
                 continue;
             }
             if a.starts_with("--") || a == "-o" {
-                skip_next = true;
+                skip_next = !BOOL_FLAGS.contains(&a.as_str());
                 continue;
             }
             if seen == idx {
@@ -241,6 +282,33 @@ fn load(path: &str) -> Result<Graph, PcdError> {
     parcomm::graph::io::load(std::path::Path::new(path)).map_err(|e| e.context(path))
 }
 
+/// `--progress` observer: one block per level on stderr, fed by the
+/// engine's phase-boundary hooks (outside the phase timers, so printing
+/// never perturbs the recorded timings).
+struct Progress;
+
+impl LevelObserver for Progress {
+    fn on_level_start(&mut self, level: usize, num_vertices: usize, num_edges: usize) {
+        eprintln!("level {level}: {num_vertices} communities, {num_edges} edges");
+    }
+    fn on_phase_end(&mut self, _level: usize, phase: Phase, secs: f64) {
+        eprintln!("  {phase}: {secs:.3}s");
+    }
+    fn on_level_end(&mut self, stats: &LevelStats) {
+        eprintln!(
+            "  -> {} communities, Q {:.4}, coverage {:.3}{}",
+            stats.num_vertices - stats.pairs_merged,
+            stats.modularity,
+            stats.coverage,
+            if stats.matcher_degraded {
+                " (matcher degraded)"
+            } else {
+                ""
+            }
+        );
+    }
+}
+
 fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed(
@@ -254,6 +322,7 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             "--threads",
             "--paranoia",
             "--max-match-rounds",
+            "--progress",
             "--assignments",
         ],
     )?;
@@ -298,15 +367,24 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
     }
     let refine_sweeps: usize = f.parse("--refine", 0)?;
     let threads: usize = f.parse("--threads", 0)?;
+    let progress = f.has("--progress");
     // Fail on bad knob combinations before spinning up a thread pool.
     config.validate()?;
 
-    let run = move || {
-        if refine_sweeps > 0 {
-            Ok(detect_refined(g, &config, refine_sweeps).0)
+    let run = move || -> Result<DetectionResult, PcdError> {
+        let mut engine = Detector::new(config)?;
+        // Refinement needs the original graph back after detection
+        // consumes it; only pay for the clone when it will be used.
+        let original = (refine_sweeps > 0).then(|| g.clone());
+        let result = if progress {
+            engine.run_observed(g, &mut Progress)?
         } else {
-            try_detect(g, &config)
-        }
+            engine.run(g)?
+        };
+        Ok(match original {
+            Some(orig) => refine_detected(&orig, result, refine_sweeps).0,
+            None => result,
+        })
     };
     let r = if threads > 0 {
         parcomm::util::pool::with_threads(threads, run)

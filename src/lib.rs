@@ -14,12 +14,18 @@
 //! ```
 //! use parcomm::prelude::*;
 //!
-//! // Generate a graph with planted communities and detect them.
+//! // Build a reusable engine, then detect planted communities.
+//! let mut engine = Detector::new(Config::default()).unwrap();
 //! let graph = parcomm::gen::classic::clique_ring(8, 6);
-//! let result = detect(graph, &Config::default());
+//! let result = engine.run(graph).unwrap();
 //! println!("{} communities, Q = {:.3}", result.num_communities, result.modularity);
 //! assert!(result.modularity > 0.5);
 //! ```
+//!
+//! The engine owns the resolved kernel set and the warm scratch arenas, so
+//! further `engine.run(...)` calls reuse buffers; `detect(graph, &config)`
+//! remains as a one-shot wrapper, and `detect_many` batches independent
+//! graphs across the rayon pool with one warm engine per worker.
 //!
 //! See the `examples/` directory for realistic end-to-end scenarios and
 //! `pcd-bench`'s `repro` binary for the paper's tables and figures.
@@ -37,11 +43,12 @@ pub use pcd_util as util;
 /// The names most programs need.
 pub mod prelude {
     pub use pcd_core::{
-        detect, try_detect, Config, ContractorKind, Criterion, MatcherKind, Paranoia, ScorerKind,
+        detect, detect_many, try_detect, Config, ContractorKind, Criterion, Detector,
+        LevelObserver, MatcherKind, Paranoia, ScorerKind,
     };
     pub use pcd_graph::{Graph, GraphBuilder};
     pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};
     pub use pcd_util::{PcdError, VertexId, Weight};
 }
 
-pub use pcd_core::{detect, Config};
+pub use pcd_core::{detect, detect_many, Config, Detector};

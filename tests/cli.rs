@@ -108,6 +108,88 @@ fn help_prints_full_usage() {
 }
 
 #[test]
+fn list_kernels_enumerates_the_registry() {
+    let out = bin().arg("--list-kernels").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for header in ["scorers (--scorer):", "matchers:", "contractors:"] {
+        assert!(stdout.contains(header), "{stdout}");
+    }
+    for name in [
+        "modularity",
+        "conductance",
+        "heavy",
+        "unmatched-list",
+        "edge-sweep",
+        "sequential",
+        "bucket",
+        "bucket-fetch-add",
+        "linked",
+    ] {
+        assert!(stdout.contains(name), "missing kernel {name}: {stdout}");
+    }
+    // Every non-header, non-blank line is "name  description".
+    for line in stdout.lines() {
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        assert!(words.next().is_some(), "bare line: {line:?}");
+        assert!(words.next().is_some(), "kernel without description: {line:?}");
+    }
+}
+
+#[test]
+fn progress_flag_narrates_levels_to_stderr() {
+    let dir = tmpdir("progress");
+    let graph = dir.join("ring.bin");
+    assert!(bin()
+        .args(["gen", "clique-ring", "--cliques", "6", "--size", "5", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .arg("--progress")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("level 1:"), "{stderr}");
+    assert!(stderr.contains("score:"), "{stderr}");
+    // --progress takes no value: a following flag still parses strictly,
+    // and the summary still lands on stdout.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--progress", "--refine", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("modularity:"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn no_arguments_prints_usage_and_fails() {
     let out = bin().output().unwrap();
     assert!(!out.status.success());

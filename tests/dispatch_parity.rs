@@ -1,0 +1,117 @@
+//! Dispatch parity: the kernel trait layer and the reusable `Detector`
+//! engine must change zero output bits. Every (scorer × matcher ×
+//! contractor) combination is run through the old free-function wrappers
+//! and the new engine — fresh and warm — and compared field by field
+//! (everything except wall-clock timings, which legitimately vary).
+
+use parcomm::core::DetectionResult;
+use parcomm::gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
+use parcomm::prelude::*;
+
+const SCORERS: [ScorerKind; 3] = [
+    ScorerKind::Modularity,
+    ScorerKind::Conductance,
+    ScorerKind::HeavyEdge,
+];
+const MATCHERS: [MatcherKind; 3] = [
+    MatcherKind::UnmatchedList,
+    MatcherKind::EdgeSweep,
+    MatcherKind::Sequential,
+];
+const CONTRACTORS: [ContractorKind; 4] = [
+    ContractorKind::Bucket,
+    ContractorKind::BucketFetchAdd,
+    ContractorKind::Linked,
+    ContractorKind::Sequential,
+];
+
+/// Bit-exact equality on every non-timing field.
+fn assert_same(a: &DetectionResult, b: &DetectionResult, what: &str) {
+    assert_eq!(a.assignment, b.assignment, "{what}: assignment");
+    assert_eq!(a.num_communities, b.num_communities, "{what}: num_communities");
+    assert_eq!(
+        a.community_vertex_counts, b.community_vertex_counts,
+        "{what}: counts"
+    );
+    assert_eq!(a.modularity, b.modularity, "{what}: modularity");
+    assert_eq!(a.coverage, b.coverage, "{what}: coverage");
+    assert_eq!(a.level_maps, b.level_maps, "{what}: level_maps");
+    assert_eq!(a.stop_reason, b.stop_reason, "{what}: stop_reason");
+    assert_eq!(a.levels.len(), b.levels.len(), "{what}: level count");
+    for (la, lb) in a.levels.iter().zip(&b.levels) {
+        assert_eq!(la.num_vertices, lb.num_vertices, "{what}: level |V|");
+        assert_eq!(la.num_edges, lb.num_edges, "{what}: level |E|");
+        assert_eq!(la.pairs_merged, lb.pairs_merged, "{what}: pairs merged");
+        assert_eq!(la.match_rounds, lb.match_rounds, "{what}: match rounds");
+        assert_eq!(la.matcher_degraded, lb.matcher_degraded, "{what}: degraded");
+        assert_eq!(la.modularity, lb.modularity, "{what}: level Q");
+        assert_eq!(la.coverage, lb.coverage, "{what}: level coverage");
+    }
+}
+
+#[test]
+fn every_kernel_combo_agrees_through_wrapper_fresh_and_warm_engine() {
+    let g = rmat_graph(&RmatParams::paper(7, 11));
+    for scorer in SCORERS {
+        for matcher in MATCHERS {
+            for contractor in CONTRACTORS {
+                let cfg = Config::default()
+                    .with_scorer(scorer)
+                    .with_matcher(matcher)
+                    .with_contractor(contractor)
+                    .with_recorded_levels();
+                let what = format!("{scorer:?}/{matcher:?}/{contractor:?}");
+                let wrapped = try_detect(g.clone(), &cfg).expect("wrapper run");
+                let mut engine = Detector::new(cfg.clone()).expect("valid combo");
+                let fresh = engine.run(g.clone()).expect("fresh engine run");
+                assert_same(&wrapped, &fresh, &format!("{what} fresh"));
+                // Second run on the same engine: warm arenas, same bits.
+                let warm = engine.run(g.clone()).expect("warm engine run");
+                assert_same(&wrapped, &warm, &format!("{what} warm"));
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_engine_across_different_graphs_matches_fresh_engines() {
+    // Arena contents from one graph must never leak into the next, even
+    // when the graphs have different sizes and the arenas stay allocated.
+    let inputs: Vec<Graph> = vec![
+        rmat_graph(&RmatParams::paper(8, 1)),
+        sbm_graph(&SbmParams::livejournal_like(500, 9)).graph,
+        rmat_graph(&RmatParams::paper(6, 5)),
+        Graph::empty(3),
+        rmat_graph(&RmatParams::paper(8, 1)),
+    ];
+    let cfg = Config::default().with_recorded_levels();
+    let mut warm = Detector::new(cfg.clone()).expect("valid config");
+    for (i, g) in inputs.into_iter().enumerate() {
+        let from_warm = warm.run(g.clone()).expect("warm run");
+        let from_fresh = Detector::new(cfg.clone())
+            .expect("valid config")
+            .run(g)
+            .expect("fresh run");
+        assert_same(&from_warm, &from_fresh, &format!("graph #{i}"));
+    }
+}
+
+#[test]
+fn detect_many_matches_per_graph_wrappers() {
+    let graphs: Vec<Graph> = (0..5)
+        .map(|i| rmat_graph(&RmatParams::paper(7, 20 + i)))
+        .collect();
+    for cfg in [
+        Config::default(),
+        Config::default()
+            .with_matcher(MatcherKind::EdgeSweep)
+            .with_contractor(ContractorKind::Linked),
+    ] {
+        let batch = detect_many(graphs.clone(), &cfg).expect("batch run");
+        assert_eq!(batch.len(), graphs.len());
+        for (i, (g, r)) in graphs.iter().zip(&batch).enumerate() {
+            let single = detect(g.clone(), &cfg);
+            assert_same(r, &single, &format!("batch graph #{i}"));
+        }
+    }
+}

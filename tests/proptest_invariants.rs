@@ -2,10 +2,16 @@
 //! multigraphs (duplicates, self-loops, weights included).
 
 use parcomm::contract::{bucket, edge_fingerprint, linked, seq as cseq, Placement};
-use parcomm::core::{score_all, ScoreContext, ScorerKind};
+use parcomm::core::{score_all_into, ScoreContext, ScorerKind};
 use parcomm::graph::{builder, components};
 use parcomm::matching::{edge_sweep, parallel, seq as mseq, verify::verify_matching};
 use proptest::prelude::*;
+
+fn score_all(kind: ScorerKind, g: &parcomm::graph::Graph, ctx: &ScoreContext) -> Vec<f64> {
+    let mut scores = Vec::new();
+    score_all_into(kind, g, ctx, &mut scores);
+    scores
+}
 
 /// Strategy: a vertex count and an arbitrary weighted edge multiset.
 fn arb_graph_input() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {

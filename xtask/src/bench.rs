@@ -271,8 +271,12 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
         let o = r.as_obj().ok_or("result entries must be objects")?;
         let instance = o_str(o, "instance")?;
         let arm = o_str(o, "arm")?;
-        if arm != "reuse" && arm != "fresh" {
-            return Err(format!("result.arm must be reuse|fresh, got {arm:?}"));
+        const ARMS: [&str; 4] = ["reuse", "fresh", "batch-warm", "batch-cold"];
+        if !ARMS.contains(&arm.as_str()) {
+            return Err(format!(
+                "result.arm must be one of {}, got {arm:?}",
+                ARMS.join("|")
+            ));
         }
         let threads = o_num(o, "threads")? as u64;
         for k in ["runs", "score_secs", "match_secs", "contract_secs", "levels", "modularity"] {
@@ -575,6 +579,11 @@ mod tests {
     fn rejects_bad_arm_and_disordered_stats() {
         let bad_arm = GOOD.replace("\"reuse\"", "\"warm\"");
         assert!(validate_report(&parse_json(&bad_arm).unwrap()).is_err());
+        for batch_arm in ["batch-warm", "batch-cold"] {
+            let batched = GOOD.replace("\"reuse\"", &format!("{batch_arm:?}"));
+            let cells = validate_report(&parse_json(&batched).unwrap()).unwrap();
+            assert_eq!(cells[0].arm, batch_arm);
+        }
         let disordered = GOOD.replace("\"median\": 1.0", "\"median\": 2.0");
         assert!(validate_report(&parse_json(&disordered).unwrap())
             .unwrap_err()

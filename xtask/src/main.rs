@@ -28,6 +28,15 @@
 //!    Growing a budget requires editing this file — which is the point: a
 //!    new unsafe block must come past review with a `// SAFETY:` comment.
 //!
+//! 3. **Kernel dispatch discipline.** The detection drivers
+//!    (`crates/core/src/driver.rs`, `crates/core/src/multilevel.rs`) may
+//!    not call concrete kernel functions or name the concrete kernel
+//!    modules of `pcd-matching`/`pcd-contract` — all score/match/contract
+//!    work must dispatch through the `pcd_core::kernel` trait layer, so a
+//!    backend swap is one registry entry, never a driver edit. The trait
+//!    impls under `crates/core/src/kernel/` are the one sanctioned wrapper
+//!    site and are exempt.
+//!
 //! Line comments are stripped before matching, so prose (including
 //! `// SAFETY:` comments and these docs' own examples) never trips the
 //! gate. The banned spellings in this source are assembled with `concat!`
@@ -52,6 +61,40 @@ const SHIM: &str = "crates/util/src/sync.rs";
 /// Files allowed to contain the `unsafe` keyword, with the audited number
 /// of occurrences. Every site carries a `// SAFETY:` comment; see the
 /// files themselves.
+/// Driver files fenced off from concrete kernels: they must dispatch
+/// through the `pcd_core::kernel` trait layer. (These patterns are plain
+/// literals — unlike the atomics rule they apply only to the files below,
+/// so this source naming them is harmless.)
+const KERNEL_CALLERS: &[&str] = &[
+    "crates/core/src/driver.rs",
+    "crates/core/src/multilevel.rs",
+];
+
+/// Concrete kernel entry points (whole-identifier match).
+const CONCRETE_KERNEL_FNS: &[&str] = &[
+    "score_edge",
+    "score_all_into",
+    "match_unmatched_list",
+    "match_unmatched_list_scratch",
+    "match_edge_sweep",
+    "match_edge_sweep_stats",
+    "match_sequential_greedy",
+    "contract_into",
+    "contract_with_policy",
+    "contract_linked",
+    "contract_seq",
+];
+
+/// Concrete kernel module paths (substring match).
+const CONCRETE_KERNEL_PATHS: &[&str] = &[
+    "pcd_matching::parallel",
+    "pcd_matching::edge_sweep",
+    "pcd_matching::seq",
+    "pcd_contract::bucket",
+    "pcd_contract::linked",
+    "pcd_contract::seq",
+];
+
 const UNSAFE_BUDGET: &[(&str, usize)] = &[
     ("crates/contract/src/bucket.rs", 1),
     ("crates/graph/src/csr.rs", 3),
@@ -156,10 +199,33 @@ fn lint_file(rel: &str, content: &str, violations: &mut Vec<String>) {
         .collect();
 
     let is_shim = rel == SHIM || rel.ends_with(&format!("/{SHIM}"));
+    let is_kernel_caller = KERNEL_CALLERS
+        .iter()
+        .any(|p| rel == *p || rel.ends_with(&format!("/{p}")));
     let mut unsafe_count = 0usize;
 
     for (lineno, raw) in content.lines().enumerate() {
         let line = strip_line_comment(raw);
+        if is_kernel_caller {
+            for pat in CONCRETE_KERNEL_FNS {
+                if count_word(line, pat) > 0 {
+                    violations.push(format!(
+                        "{rel}:{}: direct concrete-kernel call `{pat}` — dispatch through the \
+                         pcd_core::kernel trait layer",
+                        lineno + 1
+                    ));
+                }
+            }
+            for pat in CONCRETE_KERNEL_PATHS {
+                if line.contains(pat) {
+                    violations.push(format!(
+                        "{rel}:{}: concrete kernel module `{pat}` — drivers use the \
+                         pcd_core::kernel trait layer",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
         if !is_shim {
             for pat in [&std_atomic, &core_atomic] {
                 if line.contains(pat.as_str()) {
@@ -302,6 +368,42 @@ mod tests {
     fn deny_attribute_not_counted_as_unsafe() {
         let ok = "#![deny(unsafe_op_in_unsafe_fn)]\n";
         assert!(lint_str("crates/core/src/fake.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn planted_concrete_kernel_call_in_driver_fails() {
+        let bad =
+            "use pcd_matching::parallel;\nfn f() { parallel::match_unmatched_list_scratch(); }\n";
+        let v = lint_str("crates/core/src/driver.rs", bad);
+        assert_eq!(v.len(), 2, "{v:#?}");
+        assert!(v[0].contains("pcd_matching::parallel"), "{v:#?}");
+        assert!(v[1].contains("match_unmatched_list_scratch"), "{v:#?}");
+    }
+
+    #[test]
+    fn planted_concrete_contractor_in_multilevel_fails() {
+        let bad = "fn f() { let _ = pcd_contract::bucket::contract_into(); }\n";
+        let v = lint_str("crates/core/src/multilevel.rs", bad);
+        assert_eq!(v.len(), 2, "{v:#?}");
+        assert!(v.iter().all(|m| m.contains("trait layer")), "{v:#?}");
+    }
+
+    #[test]
+    fn kernel_wrappers_may_call_concrete_kernels() {
+        // The trait-impl modules are the sanctioned wrapper site; the same
+        // spellings that fail in the drivers pass there (and anywhere else).
+        let ok =
+            "use pcd_matching::parallel;\nfn f() { parallel::match_unmatched_list_scratch(); }\n";
+        assert!(lint_str("crates/core/src/kernel/matchers.rs", ok).is_empty());
+        assert!(lint_str("crates/bench/benches/graphops.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn kernel_rule_is_boundary_and_comment_aware() {
+        // `contract_secs` must not trip the `contract_seq` identifier ban,
+        // and commented mentions are stripped before matching.
+        let ok = "fn f(l: &LevelStats) -> f64 { l.contract_secs } // contract_seq in prose\n";
+        assert!(lint_str("crates/core/src/driver.rs", ok).is_empty());
     }
 
     #[test]
