@@ -103,5 +103,10 @@ fn bench_kernel_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graphops, bench_spmat, bench_kernel_throughput);
+criterion_group!(
+    benches,
+    bench_graphops,
+    bench_spmat,
+    bench_kernel_throughput
+);
 criterion_main!(benches);

@@ -323,7 +323,10 @@ mod tests {
             assert_eq!(reused.modularity, fresh.modularity);
             assert_eq!(reused.num_communities, fresh.num_communities);
             assert_eq!(reused.level_maps, fresh.level_maps);
-            assert_eq!(reused.community_vertex_counts, fresh.community_vertex_counts);
+            assert_eq!(
+                reused.community_vertex_counts,
+                fresh.community_vertex_counts
+            );
         }
     }
 

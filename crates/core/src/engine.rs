@@ -88,8 +88,12 @@ impl Detector {
             scratch,
         } = self;
         let kernels = *kernels;
-        let t_total = Timer::start();
         let n0 = graph.num_vertices();
+        let ne0 = graph.num_edges();
+        // Run hooks fire outside the total-time clock, like phase hooks
+        // fire outside the phase timers.
+        observer.on_run_start(n0, ne0);
+        let t_total = Timer::start();
 
         // Original-vertex → current-community mapping, and original-vertex
         // counts per current community.
@@ -167,9 +171,14 @@ impl Detector {
             scratch.vol_next.resize(num_new, 0);
             {
                 let cells = as_atomic_u64(&mut scratch.vol_next);
-                scratch.ctx.vol.par_iter().enumerate().for_each(|(old, &v)| {
-                    cells[new_of_old[old] as usize].fetch_add(v, RELAXED);
-                });
+                scratch
+                    .ctx
+                    .vol
+                    .par_iter()
+                    .enumerate()
+                    .for_each(|(old, &v)| {
+                        cells[new_of_old[old] as usize].fetch_add(v, RELAXED);
+                    });
             }
             std::mem::swap(&mut scratch.ctx.vol, &mut scratch.vol_next);
             let pairs = matching.len();
@@ -186,8 +195,7 @@ impl Detector {
             debug_assert_eq!(scratch.ctx.vol, g.volumes(), "volume fold drifted");
 
             let coverage = g.coverage();
-            let modularity =
-                pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol);
+            let modularity = pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol);
             levels.push(LevelStats {
                 level,
                 num_vertices: nv,
@@ -215,18 +223,22 @@ impl Detector {
             }
         }
 
-        Ok(DetectionResult {
+        let result = DetectionResult {
             num_communities: g.num_vertices(),
             modularity: pcd_metrics::community_graph_modularity_with_vol(&g, &scratch.ctx.vol),
             coverage: g.coverage(),
             community_vertex_counts: counts,
             community_graph: g,
             assignment,
+            input_vertices: n0,
+            input_edges: ne0,
             levels,
             level_maps,
             stop_reason,
             total_secs: t_total.elapsed_secs(),
-        })
+        };
+        observer.on_run_end(&result);
+        Ok(result)
     }
 }
 
@@ -267,7 +279,9 @@ fn score_phase(
     scratch: &mut LevelScratch,
 ) -> Result<ScorePhase, PcdError> {
     let t = Timer::start();
-    kernels.scorer.score_into(g, &scratch.ctx, &mut scratch.scores);
+    kernels
+        .scorer
+        .score_into(g, &scratch.ctx, &mut scratch.scores);
     if let Some(max_size) = config.max_community_size {
         mask_oversized(g, &mut scratch.scores, counts, max_size);
     }
@@ -447,8 +461,8 @@ fn guard_contraction(
     // Recompute the child's total from its arrays: the contraction kernel
     // stamps the parent's total by construction, so trusting
     // `total_weight()` here would make conservation a tautology.
-    let next_total: Weight = next.weights().par_iter().sum::<Weight>()
-        + next.self_loops().par_iter().sum::<Weight>();
+    let next_total: Weight =
+        next.weights().par_iter().sum::<Weight>() + next.self_loops().par_iter().sum::<Weight>();
     if next_total != g.total_weight() {
         return fail(format!(
             "total edge weight not conserved: {} before, {} after",

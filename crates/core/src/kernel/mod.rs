@@ -210,11 +210,7 @@ impl KernelSet {
         };
         Ok(KernelSet {
             scorer: scorer_by_name(scorer).ok_or_else(|| {
-                unknown(
-                    "scorer",
-                    scorer,
-                    SCORERS.iter().map(|s| s.name()).collect(),
-                )
+                unknown("scorer", scorer, SCORERS.iter().map(|s| s.name()).collect())
             })?,
             matcher: matcher_by_name(matcher).ok_or_else(|| {
                 unknown(
@@ -320,6 +316,9 @@ mod tests {
             ContractorKind::Linked,
         );
         let dbg = format!("{set:?}");
-        assert!(dbg.contains("modularity") && dbg.contains("edge-sweep"), "{dbg}");
+        assert!(
+            dbg.contains("modularity") && dbg.contains("edge-sweep"),
+            "{dbg}"
+        );
     }
 }

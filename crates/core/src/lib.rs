@@ -49,9 +49,9 @@ pub use engine::{detect_many, Detector};
 pub use fault::FaultPlan;
 pub use kernel::{Contractor, KernelSet, Matcher, Scorer};
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
-pub use observer::{LevelObserver, NoopObserver};
+pub use observer::{LevelObserver, NoopObserver, Tee};
 pub use refine::{detect_refined, refine, refine_detected, Refinement};
-pub use result::{DetectionResult, LevelStats};
+pub use result::{DetectionResult, LevelStats, StopReason};
 pub use scorer::{score_all_into, ScoreContext};
 pub use scratch::LevelScratch;
 pub use termination::Criterion;

@@ -66,6 +66,10 @@ pub struct DetectionResult {
     /// Coverage of the final assignment (fraction of edge weight inside
     /// communities).
     pub coverage: f64,
+    /// Vertices of the input graph (level 0 of the hierarchy).
+    pub input_vertices: usize,
+    /// Edges of the input graph (level 0 of the hierarchy).
+    pub input_edges: usize,
     /// Per-level statistics, in contraction order.
     pub levels: Vec<LevelStats>,
     /// When `Config::record_levels` is set: the old→new community map of
@@ -96,6 +100,16 @@ impl DetectionResult {
             }
         }
         a
+    }
+
+    /// Input edges processed per second of total wall clock — the paper's
+    /// Table III rate. Zero when `total_secs` is zero.
+    pub fn edges_per_sec(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.input_edges as f64 / self.total_secs
+        } else {
+            0.0
+        }
     }
 
     /// Sum of phase times across levels, `(score, match, contract)`.
@@ -144,6 +158,8 @@ mod tests {
             community_vertex_counts: vec![],
             modularity: 0.0,
             coverage: 0.0,
+            input_vertices: 8,
+            input_edges: 16,
             levels: vec![lvl(1.0, 2.0, 3.0), lvl(0.5, 0.5, 1.0)],
             level_maps: Vec::new(),
             stop_reason: StopReason::LocalMaximum,
@@ -152,5 +168,6 @@ mod tests {
         assert_eq!(r.phase_totals(), (1.5, 2.5, 4.0));
         assert!((r.contraction_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(r.levels[0].total_secs(), 6.0);
+        assert_eq!(r.edges_per_sec(), 2.0);
     }
 }

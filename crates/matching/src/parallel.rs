@@ -252,9 +252,8 @@ pub fn match_unmatched_list_scratch(
                 .zip(list.par_iter())
                 .for_each(|(k, &u)| {
                     *k = mate_ro[u as usize] == NO_VERTEX
-                        && g.bucket(u).any(|e| {
-                            scores[e] > 0.0 && mate_ro[g.dsts()[e] as usize] == NO_VERTEX
-                        });
+                        && g.bucket(u)
+                            .any(|e| scores[e] > 0.0 && mate_ro[g.dsts()[e] as usize] == NO_VERTEX);
                 });
         }
         // Pass 3b: targeted register reset. Exactly the registers at the

@@ -1,0 +1,207 @@
+//! Prometheus text exposition (version 0.0.4) encoder.
+//!
+//! Hand-rolled, dependency-free. Families are emitted in
+//! first-registration order, each with one `# HELP` / `# TYPE` pair.
+//! Series labels are already key-sorted by the registry; histograms append
+//! `le` last. Escaping follows the exposition format: label values escape
+//! `\`, `"`, and newline; help text escapes `\` and newline. Non-finite
+//! gauge samples are skipped — the encoder never emits a NaN or infinite
+//! sample value (`le="+Inf"` appears only as a bucket label).
+
+use crate::registry::{MetricKind, Registry};
+use std::fmt::Write as _;
+
+fn escape_help(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `{k="v",...}` (or nothing when empty), with `extra` appended
+/// after the sorted registry labels — used for the histogram `le` label.
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Encodes the registry in Prometheus text exposition format. Allocates
+/// the output string — call at flush time, not in the level loop.
+pub fn encode(reg: &Registry) -> String {
+    let mut out = String::new();
+    for fam in reg.families() {
+        let _ = write!(out, "# HELP {} ", fam.name);
+        escape_help(&mut out, fam.help);
+        out.push('\n');
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind);
+        match fam.kind {
+            MetricKind::Counter => {
+                for c in reg.counters_of(fam.name) {
+                    out.push_str(c.name);
+                    write_labels(&mut out, c.labels, None);
+                    let _ = writeln!(out, " {}", c.value);
+                }
+            }
+            MetricKind::Gauge => {
+                for g in reg.gauges_of(fam.name) {
+                    if !g.value.is_finite() {
+                        continue;
+                    }
+                    out.push_str(g.name);
+                    write_labels(&mut out, g.labels, None);
+                    let _ = writeln!(out, " {}", g.value);
+                }
+            }
+            MetricKind::Histogram => {
+                for h in reg.histograms_of(fam.name) {
+                    let mut cumulative = 0u64;
+                    for (i, bucket) in h.buckets.iter().enumerate() {
+                        cumulative += bucket;
+                        let le = match h.bounds.get(i) {
+                            Some(b) => format!("{b}"),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = write!(out, "{}_bucket", h.name);
+                        write_labels(&mut out, h.labels, Some(("le", &le)));
+                        let _ = writeln!(out, " {cumulative}");
+                    }
+                    let _ = write!(out, "{}_sum", h.name);
+                    write_labels(&mut out, h.labels, None);
+                    let _ = writeln!(out, " {}", h.sum);
+                    let _ = write!(out, "{}_count", h.name);
+                    write_labels(&mut out, h.labels, None);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let mut reg = Registry::new();
+        let c = reg.counter("pcd_runs_total", "detection runs", &[]);
+        reg.inc(c, 2);
+        let g = reg.gauge("pcd_last_run_modularity", "final modularity", &[]);
+        reg.set(g, 0.25);
+        let text = encode(&reg);
+        assert!(text.contains("# HELP pcd_runs_total detection runs\n"));
+        assert!(text.contains("# TYPE pcd_runs_total counter\n"));
+        assert!(text.contains("pcd_runs_total 2\n"));
+        assert!(text.contains("pcd_last_run_modularity 0.25\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut reg = Registry::new();
+        let h = reg.histogram("lat", "latency", &[("phase", "score")], &[0.1, 1.0]);
+        reg.observe(h, 0.05);
+        reg.observe(h, 0.5);
+        reg.observe(h, 5.0);
+        let text = encode(&reg);
+        assert!(text.contains("lat_bucket{phase=\"score\",le=\"0.1\"} 1\n"));
+        assert!(text.contains("lat_bucket{phase=\"score\",le=\"1\"} 2\n"));
+        assert!(text.contains("lat_bucket{phase=\"score\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum{phase=\"score\"} 5.55"));
+        assert!(text.contains("lat_count{phase=\"score\"} 3\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = Registry::new();
+        let c = reg.counter("m", "", &[("k", "a\\b\"c\nd")]);
+        reg.inc(c, 1);
+        let text = encode(&reg);
+        assert!(text.contains(r#"m{k="a\\b\"c\nd"} 1"#), "got: {text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let mut reg = Registry::new();
+        reg.counter("m", "line1\nline2 \\ end", &[]);
+        let text = encode(&reg);
+        assert!(text.contains("# HELP m line1\\nline2 \\\\ end\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_are_skipped() {
+        let mut reg = Registry::new();
+        let g = reg.gauge("g", "", &[]);
+        reg.set(g, f64::NAN);
+        let text = encode(&reg);
+        assert!(!text.contains("NaN"));
+        assert!(text.contains("# TYPE g gauge\n"));
+        assert!(!text.contains("\ng 0"), "no sample line for a NaN gauge");
+    }
+
+    #[test]
+    fn no_sample_value_is_nan_or_inf() {
+        let mut reg = Registry::new();
+        let g = reg.gauge("a", "", &[]);
+        reg.set(g, f64::INFINITY);
+        let h = reg.histogram("b", "", &[], &[1.0]);
+        reg.observe(h, f64::NAN);
+        reg.observe(h, 0.5);
+        let text = encode(&reg);
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            let parsed: f64 = value.parse().unwrap();
+            assert!(parsed.is_finite(), "non-finite sample in line {line:?}");
+        }
+    }
+
+    #[test]
+    fn help_and_type_appear_once_per_family() {
+        let mut reg = Registry::new();
+        reg.counter("m", "help", &[("k", "a")]);
+        reg.counter("m", "help", &[("k", "b")]);
+        let text = encode(&reg);
+        assert_eq!(text.matches("# HELP m ").count(), 1);
+        assert_eq!(text.matches("# TYPE m ").count(), 1);
+        assert!(text.contains("m{k=\"a\"} 0\n"));
+        assert!(text.contains("m{k=\"b\"} 0\n"));
+    }
+}

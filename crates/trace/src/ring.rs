@@ -1,0 +1,213 @@
+//! Preallocated span ring buffer.
+//!
+//! [`SpanRing`] owns a fixed-capacity buffer of [`SpanRecord`]s, allocated
+//! once at construction. Recording a span is an indexed write — never an
+//! allocation — so the recorder obeys the zero-steady-state-allocation
+//! discipline of DESIGN.md §10/§12. When the ring is full the oldest span
+//! is overwritten and counted in [`SpanRing::dropped`], so a bounded
+//! recorder can watch an unbounded run without growing.
+
+use pcd_util::Phase;
+
+/// What a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole detection run (level 0 input sizes, total wall clock).
+    Run,
+    /// One contraction level, from its start hook to its end hook.
+    Level,
+    /// The score phase of one level.
+    Score,
+    /// The match phase of one level.
+    Match,
+    /// The contract phase of one level.
+    Contract,
+}
+
+impl SpanKind {
+    /// Stable lower-case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Level => "level",
+            SpanKind::Score => "score",
+            SpanKind::Match => "match",
+            SpanKind::Contract => "contract",
+        }
+    }
+
+    /// The span kind recording `phase`.
+    pub fn from_phase(phase: Phase) -> Self {
+        match phase {
+            Phase::Score => SpanKind::Score,
+            Phase::Match => SpanKind::Match,
+            Phase::Contract => SpanKind::Contract,
+        }
+    }
+}
+
+/// One recorded span. `Copy` and fixed-size so ring writes never touch the
+/// heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// 1-based level for level/phase spans; 0 for the run span.
+    pub level: u32,
+    /// Observer-side start tick (see [`pcd_util::timing::TickClock`]).
+    pub start_ticks: u64,
+    /// Observer-side end tick; `>= start_ticks`.
+    pub end_ticks: u64,
+    /// Recording thread's [`pcd_util::pool::thread_ordinal`].
+    pub thread: u32,
+    /// Community-graph vertices in scope of the span.
+    pub vertices: u64,
+    /// Community-graph edges in scope of the span.
+    pub edges: u64,
+    /// The engine's own timer reading for the covered work: the phase
+    /// timer's seconds for phase spans, their per-level sum for level
+    /// spans, total wall clock for the run span. Tick deltas bracket the
+    /// work *plus* observer overhead; this field is the authoritative
+    /// kernel time (identical to what lands in `LevelStats`).
+    pub kernel_secs: f64,
+}
+
+/// Fixed-capacity span recorder. All storage is allocated by
+/// [`SpanRing::with_capacity`]; [`SpanRing::push`] never allocates.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    spans: Vec<SpanRecord>,
+    next: usize,
+    recorded: u64,
+}
+
+impl SpanRing {
+    /// A ring holding up to `capacity` spans (at least one). The buffer is
+    /// fully reserved here — pushes stay within this allocation forever.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            spans: Vec::with_capacity(capacity),
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records `span`, overwriting the oldest record when full.
+    pub fn push(&mut self, span: SpanRecord) {
+        if self.spans.len() < self.spans.capacity() {
+            self.spans.push(span);
+        } else {
+            self.spans[self.next] = span;
+        }
+        self.next = (self.next + 1) % self.spans.capacity();
+        self.recorded += 1;
+    }
+
+    /// Maximum spans held at once.
+    pub fn capacity(&self) -> usize {
+        self.spans.capacity()
+    }
+
+    /// Spans currently held (`min(recorded, capacity)`).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total spans ever pushed, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Spans lost to overwriting (`recorded - len`).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.spans.len() as u64
+    }
+
+    /// Held spans in recording order, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        let split = if self.spans.len() < self.spans.capacity() {
+            0
+        } else {
+            self.next
+        };
+        self.spans[split..].iter().chain(self.spans[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(level: u32) -> SpanRecord {
+        SpanRecord {
+            kind: SpanKind::Level,
+            level,
+            start_ticks: u64::from(level) * 10,
+            end_ticks: u64::from(level) * 10 + 5,
+            thread: 0,
+            vertices: 4,
+            edges: 8,
+            kernel_secs: 0.5,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut ring = SpanRing::with_capacity(3);
+        assert!(ring.is_empty());
+        for lvl in 1..=5 {
+            ring.push(span(lvl));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let levels: Vec<u32> = ring.iter().map(|s| s.level).collect();
+        assert_eq!(levels, vec![3, 4, 5], "oldest spans overwritten first");
+    }
+
+    #[test]
+    fn partial_ring_iterates_in_order() {
+        let mut ring = SpanRing::with_capacity(8);
+        ring.push(span(1));
+        ring.push(span(2));
+        assert_eq!(ring.dropped(), 0);
+        let levels: Vec<u32> = ring.iter().map(|s| s.level).collect();
+        assert_eq!(levels, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut ring = SpanRing::with_capacity(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(span(1));
+        ring.push(span(2));
+        assert_eq!(ring.iter().map(|s| s.level).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn pushes_never_grow_the_buffer() {
+        let mut ring = SpanRing::with_capacity(4);
+        let cap = ring.capacity();
+        for lvl in 0..100 {
+            ring.push(span(lvl));
+        }
+        assert_eq!(ring.capacity(), cap);
+        assert_eq!(ring.len(), cap);
+    }
+
+    #[test]
+    fn span_kind_names_and_phases() {
+        assert_eq!(SpanKind::from_phase(Phase::Score), SpanKind::Score);
+        assert_eq!(SpanKind::from_phase(Phase::Match), SpanKind::Match);
+        assert_eq!(SpanKind::from_phase(Phase::Contract), SpanKind::Contract);
+        assert_eq!(SpanKind::Run.name(), "run");
+        assert_eq!(SpanKind::Level.name(), "level");
+        assert_eq!(SpanKind::Contract.name(), "contract");
+    }
+}

@@ -3,6 +3,23 @@
 //! The paper sweeps `OMP_NUM_THREADS` (or XMT processor counts); the
 //! benchmark harness sweeps rayon pool sizes through [`with_threads`].
 
+use crate::sync::{AtomicU32, RELAXED};
+
+static NEXT_THREAD_ORDINAL: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u32 = NEXT_THREAD_ORDINAL.fetch_add(1, RELAXED);
+}
+
+/// A small dense id for the calling thread, assigned on first use in
+/// process-wide first-come order. Unlike [`std::thread::ThreadId`] it fits
+/// a trace record, and unlike rayon's pool index it is defined on every
+/// thread (the main thread included). Stable for the thread's lifetime;
+/// ids of exited threads are not reused.
+pub fn thread_ordinal() -> u32 {
+    THREAD_ORDINAL.with(|o| *o)
+}
+
 /// Runs `f` inside a dedicated rayon pool with exactly `threads` workers.
 ///
 /// All `par_iter` work spawned inside `f` executes on that pool, so a sweep
@@ -51,6 +68,14 @@ mod tests {
     #[test]
     fn with_threads_returns_value() {
         assert_eq!(with_threads(1, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_and_distinct() {
+        let mine = thread_ordinal();
+        assert_eq!(mine, thread_ordinal(), "ordinal changed between calls");
+        let other = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(mine, other, "two threads shared an ordinal");
     }
 
     #[test]

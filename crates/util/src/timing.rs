@@ -36,6 +36,41 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t.elapsed_secs())
 }
 
+/// Monotonic tick source for the trace recorder: integer nanoseconds since
+/// the clock's own epoch (its construction). Spans stamped by one clock are
+/// directly comparable; ticks from different clocks are not. Reading the
+/// clock never allocates, so recorders may stamp ticks in steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct TickClock {
+    epoch: Instant,
+}
+
+impl TickClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        TickClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the epoch. Saturates at `u64::MAX`
+    /// (about 584 years), which no detection run reaches.
+    pub fn ticks(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Converts a tick count from this clock into seconds.
+    pub fn ticks_to_secs(ticks: u64) -> f64 {
+        ticks as f64 * 1e-9
+    }
+}
+
+impl Default for TickClock {
+    fn default() -> Self {
+        TickClock::new()
+    }
+}
+
 /// Min / median / max / mean over repeated runs (seconds or any metric).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
@@ -120,6 +155,16 @@ mod tests {
         let (v, secs) = timed(|| 7);
         assert_eq!(v, 7);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn tick_clock_is_monotonic_from_its_epoch() {
+        let clock = TickClock::new();
+        let a = clock.ticks();
+        let b = clock.ticks();
+        assert!(b >= a);
+        assert_eq!(TickClock::ticks_to_secs(1_500_000_000), 1.5);
+        assert_eq!(TickClock::ticks_to_secs(0), 0.0);
     }
 
     #[test]

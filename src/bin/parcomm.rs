@@ -10,10 +10,11 @@
 
 use parcomm::core::refine::refine_detected;
 use parcomm::core::result::LevelStats;
-use parcomm::core::{kernel, DetectionResult, Paranoia};
+use parcomm::core::{kernel, DetectionResult, Paranoia, Tee};
 use parcomm::prelude::*;
-use parcomm::util::Phase;
+use parcomm::trace::TraceObserver;
 use parcomm::util::PcdError;
+use parcomm::util::Phase;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -51,6 +52,9 @@ detect options:
   --max-match-rounds N        matcher watchdog cap (default 4*ceil(log2 nv)+64)
   --progress       print per-level phase progress to stderr (no value)
   --assignments FILE   write \"vertex community\" lines
+  --metrics FILE   write run metrics; .prom = Prometheus text exposition,
+                   anything else = parcomm-metrics-v1 JSON
+  --trace FILE     write the span trace (parcomm-trace-v1 JSON)
 
 seed options:
   --max-size N     expansion budget (default 1000)
@@ -324,6 +328,8 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             "--max-match-rounds",
             "--progress",
             "--assignments",
+            "--metrics",
+            "--trace",
         ],
     )?;
     let path = f
@@ -368,25 +374,34 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
     let refine_sweeps: usize = f.parse("--refine", 0)?;
     let threads: usize = f.parse("--threads", 0)?;
     let progress = f.has("--progress");
+    let metrics_out = f.get("--metrics").map(str::to_string);
+    let trace_out = f.get("--trace").map(str::to_string);
+    let tracing = metrics_out.is_some() || trace_out.is_some();
     // Fail on bad knob combinations before spinning up a thread pool.
     config.validate()?;
 
-    let run = move || -> Result<DetectionResult, PcdError> {
+    let run = move || -> Result<(DetectionResult, Option<TraceObserver>), PcdError> {
         let mut engine = Detector::new(config)?;
         // Refinement needs the original graph back after detection
         // consumes it; only pay for the clone when it will be used.
         let original = (refine_sweeps > 0).then(|| g.clone());
-        let result = if progress {
-            engine.run_observed(g, &mut Progress)?
-        } else {
-            engine.run(g)?
+        let mut tracer = tracing.then(TraceObserver::new);
+        let result = match (&mut tracer, progress) {
+            (Some(t), true) => {
+                let mut p = Progress;
+                engine.run_observed(g, &mut Tee::new(&mut p, t))?
+            }
+            (Some(t), false) => engine.run_observed(g, t)?,
+            (None, true) => engine.run_observed(g, &mut Progress)?,
+            (None, false) => engine.run(g)?,
         };
-        Ok(match original {
+        let result = match original {
             Some(orig) => refine_detected(&orig, result, refine_sweeps).0,
             None => result,
-        })
+        };
+        Ok((result, tracer))
     };
-    let r = if threads > 0 {
+    let (r, tracer) = if threads > 0 {
         parcomm::util::pool::with_threads(threads, run)
     } else {
         run()
@@ -418,6 +433,28 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             writeln!(w, "{v} {cid}")?;
         }
         println!("assignments:  {out}");
+    }
+    if let Some(obs) = tracer {
+        let created_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        if let Some(out) = metrics_out {
+            let doc = if out.ends_with(".prom") {
+                parcomm::trace::prometheus_text(obs.registry())
+            } else {
+                parcomm::trace::metrics_json(obs.registry(), path, created_unix)
+            };
+            std::fs::write(&out, doc)?;
+            println!("metrics:      {out}");
+        }
+        if let Some(out) = trace_out {
+            std::fs::write(
+                &out,
+                parcomm::trace::trace_json(obs.ring(), path, created_unix),
+            )?;
+            println!("trace:        {out}");
+        }
     }
     Ok(())
 }

@@ -38,6 +38,7 @@ pub use pcd_graph as graph;
 pub use pcd_matching as matching;
 pub use pcd_metrics as metrics;
 pub use pcd_spmat as spmat;
+pub use pcd_trace as trace;
 pub use pcd_util as util;
 
 /// The names most programs need.
@@ -48,6 +49,7 @@ pub mod prelude {
     };
     pub use pcd_graph::{Graph, GraphBuilder};
     pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};
+    pub use pcd_trace::{detect_many_traced, TraceObserver};
     pub use pcd_util::{PcdError, VertexId, Weight};
 }
 

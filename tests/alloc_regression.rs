@@ -37,7 +37,12 @@ fn steady_state_levels_allocate_nothing() {
             let warm = level >= 2;
 
             let before = snapshot();
-            score_all_into(ScorerKind::Modularity, &g, &scratch.ctx, &mut scratch.scores);
+            score_all_into(
+                ScorerKind::Modularity,
+                &g,
+                &scratch.ctx,
+                &mut scratch.scores,
+            );
             let scored = snapshot();
             if warm {
                 assert_eq!(
@@ -51,8 +56,12 @@ fn steady_state_levels_allocate_nothing() {
             }
 
             let before = snapshot();
-            let outcome =
-                match_unmatched_list_scratch(&g, &scratch.scores, usize::MAX, &mut scratch.matching);
+            let outcome = match_unmatched_list_scratch(
+                &g,
+                &scratch.scores,
+                usize::MAX,
+                &mut scratch.matching,
+            );
             let matched = snapshot();
             if warm {
                 assert_eq!(
@@ -68,8 +77,13 @@ fn steady_state_levels_allocate_nothing() {
 
             let before = snapshot();
             let parts = scratch.take_parts();
-            let (next, num_new) =
-                bucket::contract_into(&g, &matching, Placement::PrefixSum, &mut scratch.contract, parts);
+            let (next, num_new) = bucket::contract_into(
+                &g,
+                &matching,
+                Placement::PrefixSum,
+                &mut scratch.contract,
+                parts,
+            );
             let contracted = snapshot();
             if warm && !cfg!(debug_assertions) {
                 assert_eq!(
@@ -110,6 +124,74 @@ fn steady_state_levels_allocate_nothing() {
             "instance too small: only {steady_levels} steady-state levels measured"
         );
     });
+}
+
+#[test]
+fn trace_observer_adds_zero_steady_state_allocations() {
+    // Differential form of the zero-overhead claim: a warm engine run with
+    // the full recorder attached performs exactly as many heap allocations
+    // as the same run with the NoopObserver — the recorder itself adds
+    // none. (The engine's own result vectors allocate in both arms, so the
+    // comparison isolates the observer hooks.)
+    use parcomm::prelude::*;
+    parcomm::util::pool::with_threads(1, || {
+        let g = parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(9, 5));
+        let (g_warm, g_plain, g_observed) = (g.clone(), g.clone(), g);
+        let mut engine = Detector::new(Config::default()).expect("valid config");
+        engine.run(g_warm).expect("warm-up run");
+
+        let before = snapshot();
+        engine.run(g_plain).expect("plain run");
+        let plain = snapshot().allocations_since(&before);
+
+        let mut tracer = parcomm::trace::TraceObserver::new(); // allocates up front
+        let before = snapshot();
+        engine
+            .run_observed(g_observed, &mut tracer)
+            .expect("observed run");
+        let observed = snapshot().allocations_since(&before);
+
+        assert!(!tracer.ring().is_empty(), "recorder saw no spans");
+        assert_eq!(
+            observed, plain,
+            "attached recorder allocated during the run"
+        );
+    });
+}
+
+#[test]
+fn recorder_primitives_never_allocate_after_construction() {
+    use parcomm::trace::{Registry, SpanKind, SpanRecord, SpanRing};
+    let mut ring = SpanRing::with_capacity(64);
+    let mut reg = Registry::new();
+    let c = reg.counter("c", "", &[]);
+    let h = reg.histogram("h", "", &[], &[1e-3, 1.0, 1e3]);
+    let span = SpanRecord {
+        kind: SpanKind::Score,
+        level: 0,
+        start_ticks: 1,
+        end_ticks: 2,
+        thread: 0,
+        vertices: 4,
+        edges: 8,
+        kernel_secs: 1e-6,
+    };
+    let before = snapshot();
+    // Far past the ring capacity: overwriting the oldest span must not
+    // reallocate, and registry writes are plain index updates.
+    for i in 0..10_000u64 {
+        ring.push(span);
+        reg.inc(c, 1);
+        reg.observe(h, i as f64);
+        reg.observe(h, f64::NAN); // dropped, still no allocation
+    }
+    assert_eq!(
+        snapshot().allocations_since(&before),
+        0,
+        "recorder primitives allocated in steady state"
+    );
+    assert_eq!(ring.dropped(), 10_000 - 64);
+    assert_eq!(reg.dropped_observations(), 10_000);
 }
 
 #[test]

@@ -139,7 +139,10 @@ fn list_kernels_enumerates_the_registry() {
         }
         let mut words = line.split_whitespace();
         assert!(words.next().is_some(), "bare line: {line:?}");
-        assert!(words.next().is_some(), "kernel without description: {line:?}");
+        assert!(
+            words.next().is_some(),
+            "kernel without description: {line:?}"
+        );
     }
 }
 
@@ -186,6 +189,86 @@ fn progress_flag_narrates_levels_to_stderr() {
         "{}",
         String::from_utf8_lossy(&out.stdout)
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_and_trace_exports_are_written_and_well_formed() {
+    let dir = tmpdir("metrics-trace");
+    let graph = dir.join("rmat.bin");
+    assert!(bin()
+        .args(["gen", "rmat", "--scale", "8", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // JSON flavors, composed with --progress and --refine in one run.
+    let metrics = dir.join("run-metrics.json");
+    let trace = dir.join("run-trace.json");
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--trace")
+        .arg(&trace)
+        .args(["--progress", "--refine", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    assert!(stdout.contains("trace:"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("level 1:"),
+        "--progress still narrates"
+    );
+    let mdoc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        mdoc.contains("\"schema\": \"parcomm-metrics-v1\""),
+        "{mdoc}"
+    );
+    assert!(mdoc.contains("pcd_runs_total"), "{mdoc}");
+    assert!(mdoc.contains("\"phase\":\"score\""), "{mdoc}");
+    let tdoc = std::fs::read_to_string(&trace).unwrap();
+    assert!(tdoc.contains("\"schema\": \"parcomm-trace-v1\""), "{tdoc}");
+    assert!(tdoc.contains("\"kind\": \"run\""), "{tdoc}");
+    assert!(tdoc.contains("\"kind\": \"contract\""), "{tdoc}");
+
+    // A .prom extension selects the Prometheus text exposition format.
+    let prom = dir.join("run.prom");
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .arg("--metrics")
+        .arg(&prom)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let pdoc = std::fs::read_to_string(&prom).unwrap();
+    assert!(pdoc.contains("# TYPE pcd_runs_total counter\n"), "{pdoc}");
+    assert!(
+        pdoc.contains("# TYPE pcd_phase_seconds histogram\n"),
+        "{pdoc}"
+    );
+    assert!(pdoc.contains("pcd_last_run_modularity"), "{pdoc}");
+    assert!(pdoc.contains("le=\"+Inf\""), "{pdoc}");
+
+    // Strict parsing: both flags demand a value.
+    for flag in ["--metrics", "--trace"] {
+        let out = bin().arg("detect").arg(&graph).arg(flag).output().unwrap();
+        assert!(!out.status.success(), "{flag} without value must fail");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -28,7 +28,12 @@ const CONTRACTORS: [ContractorKind; 4] = [
 /// Bit-exact equality on every non-timing field.
 fn assert_same(a: &DetectionResult, b: &DetectionResult, what: &str) {
     assert_eq!(a.assignment, b.assignment, "{what}: assignment");
-    assert_eq!(a.num_communities, b.num_communities, "{what}: num_communities");
+    assert_eq!(
+        a.num_communities, b.num_communities,
+        "{what}: num_communities"
+    );
+    assert_eq!(a.input_vertices, b.input_vertices, "{what}: input |V|");
+    assert_eq!(a.input_edges, b.input_edges, "{what}: input |E|");
     assert_eq!(
         a.community_vertex_counts, b.community_vertex_counts,
         "{what}: counts"
@@ -68,6 +73,50 @@ fn every_kernel_combo_agrees_through_wrapper_fresh_and_warm_engine() {
                 // Second run on the same engine: warm arenas, same bits.
                 let warm = engine.run(g.clone()).expect("warm engine run");
                 assert_same(&wrapped, &warm, &format!("{what} warm"));
+            }
+        }
+    }
+}
+
+#[test]
+fn attached_trace_observer_changes_zero_bits() {
+    // The whole point of recording outside the phase timers: running with
+    // the full metrics/span recorder attached must be indistinguishable —
+    // bit for bit — from running with the NoopObserver, for every kernel
+    // combination.
+    let g = rmat_graph(&RmatParams::paper(7, 11));
+    for scorer in SCORERS {
+        for matcher in MATCHERS {
+            for contractor in CONTRACTORS {
+                let cfg = Config::default()
+                    .with_scorer(scorer)
+                    .with_matcher(matcher)
+                    .with_contractor(contractor)
+                    .with_recorded_levels();
+                let what = format!("{scorer:?}/{matcher:?}/{contractor:?} observed");
+                let mut engine = Detector::new(cfg).expect("valid combo");
+                let plain = engine.run(g.clone()).expect("plain run");
+                let mut tracer = TraceObserver::new();
+                let observed = engine
+                    .run_observed(g.clone(), &mut tracer)
+                    .expect("observed run");
+                assert_same(&plain, &observed, &what);
+                // And the recorder actually saw the run it didn't perturb.
+                let reg = tracer.into_registry();
+                let runs = reg
+                    .counters_of("pcd_runs_total")
+                    .map(|c| c.value)
+                    .sum::<u64>();
+                assert_eq!(runs, 1, "{what}: runs counter");
+                let levels = reg
+                    .counters_of("pcd_levels_total")
+                    .map(|c| c.value)
+                    .sum::<u64>();
+                assert_eq!(
+                    levels as usize,
+                    observed.levels.len(),
+                    "{what}: levels counter"
+                );
             }
         }
     }

@@ -22,6 +22,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut skip_run = false;
     let mut alloc_stats = false;
     let mut threshold = DEFAULT_THRESHOLD;
+    let mut max_observed_overhead: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut forward: Vec<String> = Vec::new();
@@ -43,6 +44,13 @@ pub fn run(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|_| "bad --threshold".to_string())?;
                 }
+                "--max-observed-overhead" => {
+                    max_observed_overhead = Some(
+                        val("--max-observed-overhead")?
+                            .parse()
+                            .map_err(|_| "bad --max-observed-overhead".to_string())?,
+                    );
+                }
                 "--out" => out = Some(val("--out")?),
                 "--baseline" => baseline = Some(val("--baseline")?),
                 // Pass instance-shape flags straight through to bench_gate.
@@ -62,6 +70,10 @@ pub fn run(args: &[String]) -> ExitCode {
     }
     if threshold < 1.0 {
         eprintln!("xtask bench: --threshold is a ratio >= 1.0 (e.g. 1.15 allows +15%)");
+        return ExitCode::FAILURE;
+    }
+    if max_observed_overhead.is_some_and(|l| l < 1.0) {
+        eprintln!("xtask bench: --max-observed-overhead is a ratio >= 1.0 (e.g. 1.02 allows +2%)");
         return ExitCode::FAILURE;
     }
 
@@ -91,6 +103,10 @@ pub fn run(args: &[String]) -> ExitCode {
         out_path.display(),
         report.len()
     );
+    if !observed_overhead_ok(&report, max_observed_overhead, smoke) {
+        eprintln!("xtask bench: observed arm exceeds --max-observed-overhead");
+        return ExitCode::FAILURE;
+    }
     if smoke {
         // Smoke mode gates schema and plumbing only; timings on a cold CI
         // runner at tiny scale carry no signal worth failing on.
@@ -145,9 +161,55 @@ pub fn run(args: &[String]) -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: cargo xtask bench [--smoke] [--skip-run] [--alloc-stats] \
-         [--threshold 1.15] [--out FILE] [--baseline FILE] \
-         [--scale N] [--sbm-vertices N] [--threads 1,2,8] [--runs N] [--label L]"
+         [--threshold 1.15] [--max-observed-overhead 1.02] [--out FILE] \
+         [--baseline FILE] [--scale N] [--sbm-vertices N] [--threads 1,2,8] \
+         [--runs N] [--label L]"
     );
+}
+
+/// Prints the observed-vs-reuse ratio for every (instance, threads) pair
+/// carrying both arms — the whole-run cost of the attached tracing
+/// recorder — and gates their pooled geometric mean against `limit`.
+///
+/// Per cell it prefers the report's `overhead_vs_reuse` (the min/min
+/// ratio of the two arms' fastest interleaved samples, which additive
+/// host noise falls out of) and falls back to the ratio of the two cell
+/// medians for reports that predate the field. The gate pools because
+/// the recorder does identical per-level work on every instance, so the
+/// cells are replicate measurements of one quantity: a single cell's
+/// min-ratio still carries a few percent of shared-host noise — more
+/// than a tight budget — while the geometric mean over all cells does
+/// not. Per-cell ratios are printed for localization. Smoke-mode
+/// timings carry no signal, so there the ratios are reported but never
+/// gating.
+fn observed_overhead_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool {
+    let mut ratios = Vec::new();
+    for cell in report.iter().filter(|c| c.arm == "observed") {
+        let plain = report
+            .iter()
+            .find(|c| c.arm == "reuse" && c.instance == cell.instance && c.threads == cell.threads);
+        let Some(plain) = plain else { continue };
+        let (ratio, how) = match cell.overhead_vs_reuse {
+            Some(min_ratio) => (min_ratio, "min-ratio"),
+            None => (cell.median_secs / plain.median_secs, "of-medians"),
+        };
+        println!(
+            "  {:28} t={:<2} observed/reuse {ratio:.4}x ({how})",
+            cell.instance, cell.threads
+        );
+        ratios.push(ratio);
+    }
+    if ratios.is_empty() {
+        return true;
+    }
+    let mean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let over = !smoke && limit.is_some_and(|l| mean > l);
+    println!(
+        "  observed/reuse geometric mean over {} cell(s): {mean:.4}x{}",
+        ratios.len(),
+        if over { "  OVER BUDGET" } else { "" }
+    );
+    !over
 }
 
 fn invoke_bench_gate(
@@ -213,6 +275,12 @@ pub struct Cell {
     pub threads: u64,
     pub arm: String,
     pub median_secs: f64,
+    /// Ratio of the observed and reuse arms' fastest samples, emitted by
+    /// bench_gate on `observed` cells only. Preferred by the overhead
+    /// gate over a ratio of independent medians because additive host
+    /// noise falls out of a min/min ratio over interleaved rounds.
+    /// Absent in reports from before the observed arm existed.
+    pub overhead_vs_reuse: Option<f64>,
 }
 
 impl Cell {
@@ -237,11 +305,15 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
     if schema != "parcomm-bench-v1" {
         return Err(format!("unknown schema {schema:?}"));
     }
-    get(top, "label")?.as_str().ok_or("\"label\" must be a string")?;
+    get(top, "label")?
+        .as_str()
+        .ok_or("\"label\" must be a string")?;
     get(top, "created_unix")?
         .as_f64()
         .ok_or("\"created_unix\" must be a number")?;
-    let host = get(top, "host")?.as_obj().ok_or("\"host\" must be an object")?;
+    let host = get(top, "host")?
+        .as_obj()
+        .ok_or("\"host\" must be an object")?;
     get(host, "available_parallelism")?
         .as_f64()
         .ok_or("host.available_parallelism must be a number")?;
@@ -253,7 +325,9 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
     }
     for inst in instances {
         let o = inst.as_obj().ok_or("instance entries must be objects")?;
-        get(o, "name")?.as_str().ok_or("instance.name must be a string")?;
+        get(o, "name")?
+            .as_str()
+            .ok_or("instance.name must be a string")?;
         for k in ["vertices", "edges"] {
             get(o, k)?
                 .as_f64()
@@ -271,7 +345,7 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
         let o = r.as_obj().ok_or("result entries must be objects")?;
         let instance = o_str(o, "instance")?;
         let arm = o_str(o, "arm")?;
-        const ARMS: [&str; 4] = ["reuse", "fresh", "batch-warm", "batch-cold"];
+        const ARMS: [&str; 5] = ["reuse", "fresh", "observed", "batch-warm", "batch-cold"];
         if !ARMS.contains(&arm.as_str()) {
             return Err(format!(
                 "result.arm must be one of {}, got {arm:?}",
@@ -279,7 +353,14 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
             ));
         }
         let threads = o_num(o, "threads")? as u64;
-        for k in ["runs", "score_secs", "match_secs", "contract_secs", "levels", "modularity"] {
+        for k in [
+            "runs",
+            "score_secs",
+            "match_secs",
+            "contract_secs",
+            "levels",
+            "modularity",
+        ] {
             o_num(o, k)?;
         }
         for k in ["peak_rss_bytes", "allocations"] {
@@ -298,31 +379,59 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
                 "end_to_end_secs out of order for {instance} t={threads} {arm}"
             ));
         }
+        // Optional for backward compatibility with pre-observability
+        // reports; when present it must be null except on `observed`
+        // cells, where it must be a positive number.
+        let overhead_vs_reuse = match obj_get_opt(o, "overhead_vs_reuse") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let x = v
+                    .as_f64()
+                    .ok_or("result.overhead_vs_reuse must be a number or null")?;
+                if arm != "observed" {
+                    return Err(format!(
+                        "overhead_vs_reuse is only meaningful on the observed arm, \
+                         found on {instance} t={threads} {arm}"
+                    ));
+                }
+                if x <= 0.0 {
+                    return Err(format!(
+                        "overhead_vs_reuse must be positive, got {x} for {instance} t={threads}"
+                    ));
+                }
+                Some(x)
+            }
+        };
         cells.push(Cell {
             instance,
             threads,
             arm,
             median_secs: median,
+            overhead_vs_reuse,
         });
     }
     Ok(cells)
 }
 
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+fn obj_get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing key {key:?}"))
 }
 
-fn o_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+pub(crate) fn o_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
     Ok(get(obj, key)?
         .as_str()
         .ok_or_else(|| format!("{key} must be a string"))?
         .to_string())
 }
 
-fn o_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+pub(crate) fn o_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
     get(obj, key)?
         .as_f64()
         .ok_or_else(|| format!("{key} must be a number"))
@@ -344,25 +453,25 @@ pub enum Json {
 }
 
 impl Json {
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(o) => Some(o),
             _ => None,
         }
     }
-    fn as_arr(&self) -> Option<&[Json]> {
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
-    fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -525,9 +634,7 @@ fn utf8_width(first: u8) -> usize {
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number bytes")?;
@@ -588,6 +695,101 @@ mod tests {
         assert!(validate_report(&parse_json(&disordered).unwrap())
             .unwrap_err()
             .contains("out of order"));
+    }
+
+    #[test]
+    fn observed_arm_is_valid_and_overhead_is_gated() {
+        let observed = GOOD.replace("\"reuse\"", "\"observed\"");
+        let cells = validate_report(&parse_json(&observed).unwrap()).unwrap();
+        assert_eq!(cells[0].arm, "observed");
+        let mk = |arm: &str, median_secs: f64| Cell {
+            instance: "g".into(),
+            threads: 1,
+            arm: arm.into(),
+            median_secs,
+            overhead_vs_reuse: None,
+        };
+        let pair = vec![mk("reuse", 1.0), mk("observed", 1.05)];
+        assert!(observed_overhead_ok(&pair, None, false));
+        assert!(observed_overhead_ok(&pair, Some(1.10), false));
+        assert!(!observed_overhead_ok(&pair, Some(1.02), false));
+        // Smoke-mode timings never gate, and a lone arm has no pair to check.
+        assert!(observed_overhead_ok(&pair, Some(1.02), true));
+        assert!(observed_overhead_ok(&pair[1..], Some(1.02), false));
+    }
+
+    #[test]
+    fn gate_pools_cells_by_geometric_mean() {
+        let mk = |instance: &str, arm: &str, overhead: Option<f64>| Cell {
+            instance: instance.into(),
+            threads: 1,
+            arm: arm.into(),
+            median_secs: 1.0,
+            overhead_vs_reuse: overhead,
+        };
+        // One cell 3% over, one 1% under: the pooled mean (~1.0098x) is
+        // within a 2% budget — single-cell noise must not fail the gate.
+        let mixed = vec![
+            mk("a", "reuse", None),
+            mk("a", "observed", Some(1.03)),
+            mk("b", "reuse", None),
+            mk("b", "observed", Some(0.99)),
+        ];
+        assert!(observed_overhead_ok(&mixed, Some(1.02), false));
+        // Both cells 3% over: the pooled mean is too, and the gate fails.
+        let both = vec![
+            mk("a", "reuse", None),
+            mk("a", "observed", Some(1.03)),
+            mk("b", "reuse", None),
+            mk("b", "observed", Some(1.03)),
+        ];
+        assert!(!observed_overhead_ok(&both, Some(1.02), false));
+    }
+
+    #[test]
+    fn paired_overhead_takes_precedence_over_median_ratio() {
+        let mk = |arm: &str, median_secs: f64, overhead: Option<f64>| Cell {
+            instance: "g".into(),
+            threads: 1,
+            arm: arm.into(),
+            median_secs,
+            overhead_vs_reuse: overhead,
+        };
+        // Medians 10% apart (drift), but the paired per-round ratio says
+        // 1.005x — the gate must trust the pairing and pass.
+        let drifted = vec![mk("reuse", 1.0, None), mk("observed", 1.10, Some(1.005))];
+        assert!(observed_overhead_ok(&drifted, Some(1.02), false));
+        // And the converse: healthy-looking medians with a bad paired
+        // ratio must still fail.
+        let masked = vec![mk("reuse", 1.0, None), mk("observed", 1.0, Some(1.08))];
+        assert!(!observed_overhead_ok(&masked, Some(1.02), false));
+    }
+
+    #[test]
+    fn overhead_field_is_parsed_and_policed() {
+        let with_field = GOOD.replace("\"reuse\"", "\"observed\"").replace(
+            "\"allocations\": null",
+            "\"allocations\": null, \"overhead_vs_reuse\": 1.01",
+        );
+        let cells = validate_report(&parse_json(&with_field).unwrap()).unwrap();
+        assert_eq!(cells[0].overhead_vs_reuse, Some(1.01));
+        // Absent (old reports) and null are both fine...
+        assert_eq!(
+            validate_report(&parse_json(GOOD).unwrap()).unwrap()[0].overhead_vs_reuse,
+            None
+        );
+        // ...but a number on a non-observed arm, or a non-positive one, is not.
+        let on_reuse = GOOD.replace(
+            "\"allocations\": null",
+            "\"allocations\": null, \"overhead_vs_reuse\": 1.01",
+        );
+        assert!(validate_report(&parse_json(&on_reuse).unwrap())
+            .unwrap_err()
+            .contains("only meaningful on the observed arm"));
+        let non_positive = with_field.replace("1.01", "0");
+        assert!(validate_report(&parse_json(&non_positive).unwrap())
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

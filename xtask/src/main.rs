@@ -7,6 +7,12 @@
 //! end-to-end time regressed past a configurable threshold relative to
 //! the previous checked-in `BENCH_*.json`. See `bench.rs`.
 //!
+//! # `metrics` — observability export schema gate
+//!
+//! Validates `parcomm-metrics-v1` / `parcomm-trace-v1` documents written
+//! by `parcomm detect --metrics/--trace` and `bench_gate --metrics-out`.
+//! See `metrics.rs`.
+//!
 //! # `lint` — atomics-discipline and unsafe-budget gate
 //!
 //! Enforces the concurrency audit policy documented in
@@ -47,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 mod bench;
+mod metrics;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -65,10 +72,7 @@ const SHIM: &str = "crates/util/src/sync.rs";
 /// through the `pcd_core::kernel` trait layer. (These patterns are plain
 /// literals — unlike the atomics rule they apply only to the files below,
 /// so this source naming them is harmless.)
-const KERNEL_CALLERS: &[&str] = &[
-    "crates/core/src/driver.rs",
-    "crates/core/src/multilevel.rs",
-];
+const KERNEL_CALLERS: &[&str] = &["crates/core/src/driver.rs", "crates/core/src/multilevel.rs"];
 
 /// Concrete kernel entry points (whole-identifier match).
 const CONCRETE_KERNEL_FNS: &[&str] = &[
@@ -123,8 +127,9 @@ fn main() -> ExitCode {
             }
         }
         Some("bench") => bench::run(&args[1..]),
+        Some("metrics") => metrics::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|bench>");
+            eprintln!("usage: cargo xtask <lint|bench|metrics>");
             ExitCode::FAILURE
         }
     }
@@ -318,6 +323,25 @@ mod tests {
         );
         let violations = lint_tree(&root);
         assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+
+    #[test]
+    fn trace_crate_is_in_lint_scope() {
+        // The observability crate is covered by the same gates as the
+        // kernels: its sources are collected by the scan, and a planted
+        // violation under its path trips the atomics rule.
+        let root = repo_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root.join("crates"), &mut files);
+        assert!(
+            files
+                .iter()
+                .any(|f| f.ends_with(Path::new("trace/src/registry.rs"))),
+            "crates/trace sources not scanned"
+        );
+        let bad = format!("use std::sync::{}::AtomicU64;\n", "atomic");
+        let v = lint_str("crates/trace/src/fake.rs", &bad);
+        assert_eq!(v.len(), 1, "{v:#?}");
     }
 
     #[test]
