@@ -1,12 +1,15 @@
 //! JSON benchmark gate for the zero-allocation level loop.
 //!
 //! Runs end-to-end detection on pinned R-MAT and SBM instances across a
-//! set of thread counts, with three level-loop arms — scratch **reuse**
+//! set of thread counts, with four level-loop arms — scratch **reuse**
 //! (the default, retained arenas + graph ping-pong), **fresh** (the
-//! ablation that rebuilds every buffer each level), and **observed**
+//! ablation that rebuilds every buffer each level), **observed**
 //! (reuse plus a full `pcd-trace` recorder attached, gating the
 //! observability layer's end-to-end overhead against the plain reuse
-//! arm) — and writes a single machine-readable JSON report. A batched section measures the engine's
+//! arm), and **budgeted-unarmed** (reuse plus an armed but non-binding
+//! [`Budget`] — hour-long deadline, `usize::MAX` caps, a live cancel
+//! token nobody cancels — gating the budget sentinel's phase-boundary
+//! checks the same way) — and writes a single machine-readable JSON report. A batched section measures the engine's
 //! `detect_many` entry point (**batch-warm**: one long-lived [`Detector`]
 //! per rayon worker, arenas stay warm across graphs) against a fresh
 //! engine per graph under the same pool (**batch-cold**), so warm-arena
@@ -26,14 +29,15 @@
 //! carrying min/median/max end-to-end seconds, per-kernel phase sums
 //! (score/match/contract), level count, modularity, peak RSS, and — when
 //! built with `--features alloc-stats` — the heap allocation count of the
-//! measured run (`null` otherwise). The `observed` record additionally
-//! carries `overhead_vs_reuse` (`null` on every other arm): the ratio
-//! of the observed and reuse arms' fastest samples, drawn from rounds
-//! that interleave the arms so both minima see the same machine
-//! epochs. `cargo xtask bench --max-observed-overhead` pools these
-//! per-cell ratios by geometric mean and gates the pool — additive
-//! host noise falls out of a min/min ratio while real recorder cost
-//! does not, and pooling across cells averages out what noise remains.
+//! measured run (`null` otherwise). The `observed` and `budgeted-unarmed`
+//! records additionally carry `overhead_vs_reuse` (`null` on every other
+//! arm): the ratio of that arm's and the reuse arm's fastest samples,
+//! drawn from rounds that interleave the arms so the minima see the same
+//! machine epochs. `cargo xtask bench --max-observed-overhead` /
+//! `--max-budget-overhead` pool these per-cell ratios by geometric mean
+//! and gate the pool — additive host noise falls out of a min/min ratio
+//! while real recorder or sentinel cost does not, and pooling across
+//! cells averages out what noise remains.
 //!
 //! Everything is emitted by hand: the harness must build without serde or
 //! any other registry dependency.
@@ -41,7 +45,9 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use pcd_core::{detect_many, Config, DetectionResult, Detector, LevelObserver, Tee};
+use pcd_core::{
+    detect_many, Budget, CancelToken, Config, DetectionResult, Detector, LevelObserver, Tee,
+};
 use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
 use pcd_graph::Graph;
 use pcd_trace::{metrics_json, Registry, TraceObserver};
@@ -148,12 +154,13 @@ struct Record {
     modularity: f64,
     peak_rss_bytes: Option<u64>,
     allocations: Option<u64>,
-    /// Overhead of the attached recorder: the ratio of the two arms'
-    /// fastest samples; `Some` only on the `observed` arm. Host noise is
-    /// additive so each minimum approaches that arm's true cost, while a
-    /// real recorder cost shifts the observed minimum with it; the arms
-    /// are interleaved within every round so both minima are drawn from
-    /// the same machine epochs.
+    /// Overhead of the arm's extra machinery: the ratio of this arm's and
+    /// the reuse arm's fastest samples; `Some` only on the `observed`
+    /// (trace recorder) and `budgeted-unarmed` (armed budget sentinel)
+    /// arms. Host noise is additive so each minimum approaches that arm's
+    /// true cost, while a real recorder/sentinel cost shifts that arm's
+    /// minimum with it; the arms are interleaved within every round so
+    /// the minima are drawn from the same machine epochs.
     overhead_vs_reuse: Option<f64>,
 }
 
@@ -272,69 +279,81 @@ fn report_cell(r: &Record) {
     );
 }
 
-/// The three single-instance arms. "observed" is "reuse" with the full
-/// pcd-trace recorder attached: the pair gates the recorder's overhead.
-const CELL_ARMS: [(&str, bool, bool); 3] = [
-    ("reuse", true, false),
-    ("fresh", false, false),
-    ("observed", true, true),
+/// The four single-instance arms as (name, reuse, observed, budgeted).
+/// "observed" is "reuse" with the full pcd-trace recorder attached;
+/// "budgeted-unarmed" is "reuse" with an armed but non-binding budget.
+/// Each pair with "reuse" gates that subsystem's end-to-end overhead.
+const CELL_ARMS: [(&str, bool, bool, bool); 4] = [
+    ("reuse", true, false, false),
+    ("fresh", false, false, false),
+    ("observed", true, true, false),
+    ("budgeted-unarmed", true, false, true),
 ];
 
-/// Measures the three single-instance arms of one (instance, threads)
+/// Arms whose record carries `overhead_vs_reuse`.
+const GATED_ARMS: [&str; 2] = ["observed", "budgeted-unarmed"];
+
+/// Measures the four single-instance arms of one (instance, threads)
 /// cell round-robin: every round takes one sample of each arm back to
 /// back, so slow machine epochs (frequency drift, noisy neighbours) land
 /// on all arms alike instead of biasing whichever arm ran later. The
-/// observed/reuse overhead ratio `cargo xtask bench` gates is only
-/// meaningful under this pairing.
+/// per-arm overhead ratios `cargo xtask bench` gates are only meaningful
+/// under this pairing.
 fn measure_cell(
     name: &str,
     g: &Graph,
     threads: usize,
     runs: usize,
 ) -> (Vec<Record>, Option<Registry>) {
-    debug_assert_eq!(CELL_ARMS.map(|(a, _, _)| a), ["reuse", "fresh", "observed"]);
+    debug_assert_eq!(
+        CELL_ARMS.map(|(a, _, _, _)| a),
+        ["reuse", "fresh", "observed", "budgeted-unarmed"]
+    );
     let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); CELL_ARMS.len()];
     let mut lasts: Vec<Option<(DetectionResult, PhaseTimes, Option<Registry>)>> =
         (0..CELL_ARMS.len()).map(|_| None).collect();
     let mut allocations: Vec<Option<u64>> = vec![None; CELL_ARMS.len()];
     for round in 0..runs {
-        // The overhead pair (reuse, observed) runs strictly back to back
-        // with fresh outside it, in alternating internal order, so both
-        // arms sample every machine epoch the cell passes through and
-        // neither systematically occupies the warmer late position.
-        let order: [usize; 3] = if round % 2 == 0 { [1, 0, 2] } else { [1, 2, 0] };
+        // The gated arms (observed, budgeted-unarmed) alternate which of
+        // them brackets reuse, with fresh always leading, so every gated
+        // arm spends half its rounds adjacent to reuse on each side and
+        // none systematically occupies the warmer late position.
+        let order: [usize; 4] = if round % 2 == 0 {
+            [1, 0, 2, 3]
+        } else {
+            [1, 3, 0, 2]
+        };
         for i in order {
-            let (_, reuse, observed) = CELL_ARMS[i];
-            let (secs, allocs, outcome) = run_once(g, threads, reuse, observed);
+            let (_, reuse, observed, budgeted) = CELL_ARMS[i];
+            let (secs, allocs, outcome) = run_once(g, threads, reuse, observed, budgeted);
             samples[i].push(secs);
             allocations[i] = allocs;
             lasts[i] = Some(outcome);
         }
     }
-    // Recorder overhead is deterministic work while host noise (drift,
-    // warmup, neighbours) is strictly additive, so the fastest sample
-    // of each arm is the least-contaminated estimate of its true cost
-    // and the min/min ratio is the lowest-variance overhead estimator
-    // available here — real recorder cost shifts the observed arm's
+    // Recorder/sentinel overhead is deterministic work while host noise
+    // (drift, warmup, neighbours) is strictly additive, so the fastest
+    // sample of each arm is the least-contaminated estimate of its true
+    // cost and the min/min ratio is the lowest-variance overhead
+    // estimator available here — real extra cost shifts that arm's
     // minimum just the same. The interleaving above is what makes the
-    // two minima comparable: both arms get an equal shot at the fast
+    // minima comparable: every arm gets an equal shot at the fast
     // machine epochs within the cell.
-    let reuse_idx = CELL_ARMS.iter().position(|&(a, _, _)| a == "reuse");
-    let observed_idx = CELL_ARMS.iter().position(|&(a, _, _)| a == "observed");
-    let paired_overhead = reuse_idx.zip(observed_idx).and_then(|(r, o)| {
-        let fastest = |xs: &[f64]| xs.iter().copied().min_by(f64::total_cmp);
-        match (fastest(&samples[o]), fastest(&samples[r])) {
-            (Some(obs), Some(plain)) => Some(obs / plain),
-            _ => None,
-        }
-    });
+    let fastest = |xs: &[f64]| xs.iter().copied().min_by(f64::total_cmp);
+    let reuse_min = CELL_ARMS
+        .iter()
+        .position(|&(a, _, _, _)| a == "reuse")
+        .and_then(|r| fastest(&samples[r]));
     let mut registry = None;
     let mut records = Vec::with_capacity(CELL_ARMS.len());
-    for (i, &(arm, _, _)) in CELL_ARMS.iter().enumerate() {
+    for (i, &(arm, _, _, _)) in CELL_ARMS.iter().enumerate() {
         let (result, phases, reg) = lasts[i].take().expect("runs >= 1");
         if reg.is_some() {
             registry = reg;
         }
+        let overhead = (GATED_ARMS.contains(&arm))
+            .then(|| fastest(&samples[i]).zip(reuse_min).map(|(a, r)| a / r))
+            .flatten();
         records.push(Record {
             instance: name.into(),
             input_edges: g.num_edges(),
@@ -348,7 +367,7 @@ fn measure_cell(
             modularity: result.modularity,
             peak_rss_bytes: peak_rss_bytes(),
             allocations: allocations[i],
-            overhead_vs_reuse: (arm == "observed").then_some(paired_overhead).flatten(),
+            overhead_vs_reuse: overhead,
         });
     }
     (records, registry)
@@ -361,18 +380,31 @@ fn measure_cell(
 /// per process, `detect_many_traced` one per worker), so the observed
 /// arm times exactly the steady-state recording cost — every span push,
 /// counter bump, and histogram observation — not the arena allocation.
+/// `budgeted` attaches an armed but non-binding budget (hour deadline,
+/// `usize::MAX` caps, a shared cancel token nobody cancels), so the arm
+/// times the sentinel's phase-boundary checks with every limit live.
 fn run_once(
     g: &Graph,
     threads: usize,
     reuse: bool,
     observed: bool,
+    budgeted: bool,
 ) -> (
     f64,
     Option<u64>,
     (DetectionResult, PhaseTimes, Option<Registry>),
 ) {
     let graph = g.clone();
-    let cfg = Config::default().with_scratch_reuse(reuse);
+    let mut cfg = Config::default().with_scratch_reuse(reuse);
+    if budgeted {
+        cfg = cfg.with_budget(
+            Budget::unarmed()
+                .with_deadline(std::time::Duration::from_secs(3600))
+                .with_max_levels(usize::MAX)
+                .with_max_scratch_bytes(usize::MAX)
+                .with_cancel_token(CancelToken::new()),
+        );
+    }
     let tracer = observed.then(TraceObserver::new);
     let before = alloc_count();
     let timer = Timer::start();

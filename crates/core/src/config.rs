@@ -1,6 +1,7 @@
 //! Detection configuration: metric, kernel implementations, constraints,
-//! and termination criteria.
+//! resource budget, and termination criteria.
 
+use crate::budget::Budget;
 use crate::termination::Criterion;
 use pcd_util::PcdError;
 
@@ -122,6 +123,10 @@ pub struct Config {
     /// ablation arm for the memory benchmarks. Both settings produce
     /// bit-identical results.
     pub reuse_scratch: bool,
+    /// Resource budget: wall-clock deadline, level cap, scratch-memory
+    /// ceiling, cancellation. Unarmed by default — zero overhead and
+    /// bit-identical results (see [`Budget`]).
+    pub budget: Budget,
     /// Fault plan for the injection harness (test builds only).
     #[cfg(feature = "fault-injection")]
     pub fault: crate::fault::FaultPlan,
@@ -141,6 +146,7 @@ impl Default for Config {
             paranoia: Paranoia::Off,
             max_match_rounds: None,
             reuse_scratch: true,
+            budget: Budget::unarmed(),
             #[cfg(feature = "fault-injection")]
             fault: crate::fault::FaultPlan::default(),
         }
@@ -231,6 +237,13 @@ impl Config {
         self
     }
 
+    #[must_use]
+    /// Replaces the resource budget (see [`Budget`]).
+    pub fn with_budget(mut self, b: Budget) -> Self {
+        self.budget = b;
+        self
+    }
+
     /// Checks the configuration for values that would make detection
     /// meaningless or non-terminating, so bad CLI/API input fails up front
     /// with a [`PcdError::Config`] instead of looping or panicking deep in
@@ -305,6 +318,21 @@ mod tests {
         assert_eq!(c.matcher, MatcherKind::UnmatchedList);
         assert_eq!(c.contractor, ContractorKind::Bucket);
         assert!(c.criteria.is_empty());
+        assert!(!c.budget.is_armed());
+    }
+
+    #[test]
+    fn budget_rides_the_builder_and_validates() {
+        let c = Config::default().with_budget(Budget::unarmed().with_max_levels(2).strict());
+        assert!(c.budget.is_armed());
+        assert!(c.budget.strict);
+        assert_eq!(c.budget.max_levels, Some(2));
+        // Any budget — even max_levels 0 (return singletons) — is valid.
+        assert!(c.validate().is_ok());
+        assert!(Config::default()
+            .with_budget(Budget::unarmed().with_max_levels(0))
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! timers); the default no-op observer makes an unobserved run identical
 //! to the pre-refactor driver, bit for bit.
 
+use crate::budget::breach_detail;
 use crate::config::{default_match_round_cap, Config, Paranoia};
 use crate::kernel::KernelSet;
 use crate::observer::{LevelObserver, NoopObserver};
-use crate::result::{DetectionResult, LevelStats, StopReason};
+use crate::result::{DetectionResult, LevelStats, StopReason, Termination};
 use crate::scorer::{any_positive, mask_oversized};
 use crate::scratch::LevelScratch;
 use crate::termination::{any_stops, LevelState};
@@ -104,6 +105,15 @@ impl Detector {
         let mut level_maps: Vec<Vec<VertexId>> = Vec::new();
         scratch.ctx.refresh(&g);
         let stop_reason;
+        // Budget checks live only at phase boundaries, below. Unarmed
+        // budgets (the default) resolve to `None` here, once, so each
+        // boundary costs a single discriminant test and the loop body is
+        // bit-identical to a budget-free engine (`tests/dispatch_parity.rs`
+        // proves it). A breach abandons the in-flight level — its phase
+        // outputs fold nothing — so `assignment`/`counts` always describe
+        // exactly the completed levels: a full, valid partition.
+        let budget = config.budget.arm();
+        let mut breach: Option<Termination> = None;
 
         loop {
             if !config.reuse_scratch {
@@ -114,6 +124,16 @@ impl Detector {
                 scratch.ctx.refresh(&g);
             }
             let level = levels.len() + 1;
+            // Boundary check: deadline/cancellation, plus the level cap
+            // (checked against *completed* levels, so a cap of 0 returns
+            // the untouched singleton partition).
+            if let Some(s) = &budget {
+                if let Some(t) = s.check_level_start(levels.len()) {
+                    breach = Some(t);
+                    stop_reason = StopReason::Budget;
+                    break;
+                }
+            }
             let (nv, ne) = (g.num_vertices(), g.num_edges());
             observer.on_level_start(level, nv, ne);
 
@@ -124,6 +144,15 @@ impl Detector {
                 stop_reason = StopReason::LocalMaximum;
                 break;
             }
+            // Boundary check: natural convergence above outranks a breach
+            // detected at the same boundary.
+            if let Some(s) = &budget {
+                if let Some(t) = s.check_interrupt() {
+                    breach = Some(t);
+                    stop_reason = StopReason::Budget;
+                    break;
+                }
+            }
             let score_secs = scored.secs;
 
             // --- Phase 2: match.
@@ -132,6 +161,16 @@ impl Detector {
             if matched.matching.is_empty() {
                 stop_reason = StopReason::NoMatches;
                 break;
+            }
+            // Boundary check: the in-flight matching is recycled, not
+            // contracted — the partition stays that of completed levels.
+            if let Some(s) = &budget {
+                if let Some(t) = s.check_interrupt() {
+                    scratch.matching.recycle(matched.matching);
+                    breach = Some(t);
+                    stop_reason = StopReason::Budget;
+                    break;
+                }
             }
             let MatchPhase {
                 matching,
@@ -211,6 +250,17 @@ impl Detector {
             });
             observer.on_level_end(levels.last().expect("level just pushed"));
 
+            // Boundary check: the arena just hit this level's high-water
+            // mark, the one place the scratch ceiling can newly bind.
+            // Deadline/cancellation are re-checked at the next level start.
+            if let Some(s) = &budget {
+                if let Some(t) = s.check_memory(scratch.scratch_bytes()) {
+                    breach = Some(t);
+                    stop_reason = StopReason::Budget;
+                    break;
+                }
+            }
+
             let state = LevelState {
                 level,
                 num_communities: g.num_vertices(),
@@ -220,6 +270,25 @@ impl Detector {
             if any_stops(&config.criteria, &state) {
                 stop_reason = StopReason::Criterion;
                 break;
+            }
+        }
+
+        // Termination precedence (DESIGN.md §13): a budget breach wins
+        // (the partition is a best-effort prefix), then watchdog
+        // degradation (complete but a matcher fell back to sequential),
+        // then plain convergence.
+        let termination = match breach {
+            Some(t) => t,
+            None if levels.iter().any(|l| l.matcher_degraded) => Termination::WatchdogDegraded,
+            None => Termination::Converged,
+        };
+        if config.budget.strict {
+            if let Some(t) = breach {
+                return Err(PcdError::budget(
+                    t.as_str(),
+                    levels.len(),
+                    breach_detail(t, &config.budget),
+                ));
             }
         }
 
@@ -235,10 +304,54 @@ impl Detector {
             levels,
             level_maps,
             stop_reason,
+            termination,
             total_secs: t_total.elapsed_secs(),
         };
         observer.on_run_end(&result);
         Ok(result)
+    }
+
+    /// As [`Detector::run`], with panic isolation: a panicking kernel
+    /// poisons only this engine, which is torn down and rebuilt from its
+    /// config, and the panic is reported as a structured
+    /// [`PcdError::EnginePoisoned`]. The engine is always usable again
+    /// after this returns.
+    pub fn run_isolated(&mut self, graph: Graph) -> Result<DetectionResult, PcdError> {
+        self.run_isolated_observed(graph, &mut NoopObserver)
+    }
+
+    /// As [`Detector::run_isolated`], firing `observer` at level and phase
+    /// boundaries. On a panic the observer's partial recording is the
+    /// caller's to discard.
+    pub fn run_isolated_observed(
+        &mut self,
+        graph: Graph,
+        observer: &mut dyn LevelObserver,
+    ) -> Result<DetectionResult, PcdError> {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_observed(graph, observer)
+        }));
+        match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // The scratch arenas may be mid-mutation; rebuild the whole
+                // engine rather than reason about a half-folded level.
+                let config = self.config.clone();
+                *self = Detector::new(config).expect("a built Detector's config stays valid");
+                Err(PcdError::poisoned(panic_message(&*payload)))
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
     }
 }
 
@@ -248,16 +361,34 @@ impl Detector {
 /// processes, while results keep the input order.
 ///
 /// Validates `config` once up front; per-graph runs can still fail (e.g. a
-/// paranoia guard trip), and the first failure is returned.
+/// paranoia guard trip), and the first failure *in input order* is
+/// returned. Runs with [`detect_many_outcomes`]'s panic isolation, so one
+/// poisoned graph costs one error, never the whole batch.
 pub fn detect_many(graphs: Vec<Graph>, config: &Config) -> Result<Vec<DetectionResult>, PcdError> {
+    detect_many_outcomes(graphs, config)?.into_iter().collect()
+}
+
+/// As [`detect_many`], but reports one outcome per graph instead of
+/// collapsing the batch into its first failure: a graph that trips a
+/// paranoia guard, breaches a strict budget, or panics its worker yields
+/// an `Err` in its input slot while every other graph completes normally.
+///
+/// A worker panic poisons only that worker's engine — the engine is torn
+/// down and rebuilt ([`Detector::run_isolated`]), the panic surfaces as
+/// [`PcdError::EnginePoisoned`], and the worker continues with the
+/// remaining graphs. The outer `Err` is reserved for an invalid `config`.
+pub fn detect_many_outcomes(
+    graphs: Vec<Graph>,
+    config: &Config,
+) -> Result<Vec<Result<DetectionResult, PcdError>>, PcdError> {
     config.validate()?;
-    graphs
+    Ok(graphs
         .into_par_iter()
         .map_init(
             || Detector::new(config.clone()).expect("config validated above"),
-            |det, g| det.run(g),
+            |det, g| det.run_isolated(g),
         )
-        .collect()
+        .collect())
 }
 
 struct ScorePhase {
@@ -327,6 +458,8 @@ fn match_phase(
     } = scratch;
     #[allow(unused_mut)]
     let mut out = kernels.matcher.match_level(g, scores, cap, match_scratch);
+    #[cfg(feature = "fault-injection")]
+    config.fault.stall_match(level);
     debug_assert_eq!(
         pcd_matching::verify::verify_matching(g, scores, &out.matching),
         Ok(())
@@ -365,6 +498,8 @@ fn contract_phase(
     scratch: &mut LevelScratch,
 ) -> Result<ContractPhase, PcdError> {
     let t = Timer::start();
+    #[cfg(feature = "fault-injection")]
+    config.fault.panic_contract(level);
     let parts = scratch.take_parts();
     #[allow(unused_mut)]
     let (mut next, mut num_new) =

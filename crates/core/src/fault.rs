@@ -32,6 +32,14 @@ pub struct FaultPlan {
     /// this level, breaking weight conservation (caught by the Cheap
     /// conservation guard in the contract phase).
     pub drop_weight_at_level: Option<usize>,
+    /// Sleep for the given milliseconds inside the match phase at this
+    /// level — a deterministic "wedged matcher" that lets tests drive a
+    /// [`crate::Budget`] deadline breach without timing races.
+    pub stall_match_at_level: Option<(usize, u64)>,
+    /// Panic at the top of the contract phase at this level — the
+    /// poisoned-engine drill for [`crate::detect_many_outcomes`]'s
+    /// isolation and [`crate::Detector::run_isolated`]'s rebuild path.
+    pub panic_contract_at_level: Option<usize>,
 }
 
 impl FaultPlan {
@@ -40,12 +48,31 @@ impl FaultPlan {
         self.nan_score_at_level.is_some()
             || self.duplicate_match_at_level.is_some()
             || self.drop_weight_at_level.is_some()
+            || self.stall_match_at_level.is_some()
+            || self.panic_contract_at_level.is_some()
     }
 
     /// Injects the NaN-score fault if armed for `level`.
     pub fn corrupt_scores(&self, level: usize, scores: &mut [f64]) {
         if self.nan_score_at_level == Some(level) && !scores.is_empty() {
             scores[0] = f64::NAN;
+        }
+    }
+
+    /// Sleeps inside the match phase if the stall fault is armed for
+    /// `level`.
+    pub fn stall_match(&self, level: usize) {
+        if let Some((at, ms)) = self.stall_match_at_level {
+            if at == level {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+
+    /// Panics at the top of the contract phase if armed for `level`.
+    pub fn panic_contract(&self, level: usize) {
+        if self.panic_contract_at_level == Some(level) {
+            panic!("fault-injection: contract-phase panic at level {level}");
         }
     }
 

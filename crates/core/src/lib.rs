@@ -26,6 +26,7 @@
 //! assert!(result.modularity > 0.5);
 //! ```
 
+pub mod budget;
 pub mod config;
 pub mod driver;
 pub mod engine;
@@ -40,18 +41,20 @@ pub mod scorer;
 pub mod scratch;
 pub mod termination;
 
+pub use budget::Budget;
 pub use config::{
     default_match_round_cap, Config, ContractorKind, MatcherKind, Paranoia, ScorerKind,
 };
 pub use driver::{detect, try_detect};
-pub use engine::{detect_many, Detector};
+pub use engine::{detect_many, detect_many_outcomes, Detector};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;
 pub use kernel::{Contractor, KernelSet, Matcher, Scorer};
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
 pub use observer::{LevelObserver, NoopObserver, Tee};
+pub use pcd_util::sync::CancelToken;
 pub use refine::{detect_refined, refine, refine_detected, Refinement};
-pub use result::{DetectionResult, LevelStats, StopReason};
+pub use result::{DetectionResult, LevelStats, StopReason, Termination};
 pub use scorer::{score_all_into, ScoreContext};
 pub use scratch::LevelScratch;
 pub use termination::Criterion;

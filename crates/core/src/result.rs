@@ -13,6 +13,82 @@ pub enum StopReason {
     /// The matcher returned no pairs despite positive scores (only
     /// possible when constraints mask every positive edge).
     NoMatches,
+    /// A [`crate::Budget`] limit fired at a phase boundary;
+    /// [`DetectionResult::termination`] records which one.
+    Budget,
+}
+
+/// How a detection run ended — the caller-facing termination contract
+/// (DESIGN.md §13). [`StopReason`] records which *exit test* of the
+/// agglomeration loop fired; `Termination` classifies the *outcome*:
+/// whether the partition is the converged answer, a best-effort prefix cut
+/// short by a [`crate::Budget`] limit, or a converged answer produced with
+/// degraded (sequential-fallback) matching.
+///
+/// Precedence: a budget breach always wins (the run is incomplete), then
+/// [`WatchdogDegraded`](Termination::WatchdogDegraded) (complete, but a
+/// parallel matcher fell back to sequential), then
+/// [`Converged`](Termination::Converged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The run finished on its own terms: local maximum, explicit
+    /// criterion, or no matchable pairs.
+    Converged,
+    /// The wall-clock deadline expired; the partition is the best-effort
+    /// prefix from completed levels.
+    Deadline,
+    /// A [`pcd_util::sync::CancelToken`] was cancelled; best-effort prefix.
+    Cancelled,
+    /// The scratch-memory ceiling was breached; best-effort prefix.
+    MemoryCeiling,
+    /// The budget's level cap was reached; best-effort prefix.
+    MaxLevels,
+    /// The run completed, but at least one level's matcher watchdog
+    /// expired and the matching was finished by the sequential fallback
+    /// (see [`LevelStats::matcher_degraded`]).
+    WatchdogDegraded,
+}
+
+impl Termination {
+    /// True when the run was cut short by a budget limit (the partition is
+    /// a best-effort prefix rather than a converged answer).
+    pub fn is_budget_breach(self) -> bool {
+        matches!(
+            self,
+            Termination::Deadline
+                | Termination::Cancelled
+                | Termination::MemoryCeiling
+                | Termination::MaxLevels
+        )
+    }
+
+    /// Stable lower-case label (metric label values, CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Termination::Converged => "converged",
+            Termination::Deadline => "deadline",
+            Termination::Cancelled => "cancelled",
+            Termination::MemoryCeiling => "memory-ceiling",
+            Termination::MaxLevels => "max-levels",
+            Termination::WatchdogDegraded => "watchdog-degraded",
+        }
+    }
+
+    /// Every variant, in a stable order (metric registration).
+    pub const ALL: [Termination; 6] = [
+        Termination::Converged,
+        Termination::Deadline,
+        Termination::Cancelled,
+        Termination::MemoryCeiling,
+        Termination::MaxLevels,
+        Termination::WatchdogDegraded,
+    ];
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Statistics recorded for one contraction level.
@@ -77,6 +153,10 @@ pub struct DetectionResult {
     pub level_maps: Vec<Vec<VertexId>>,
     /// Why agglomeration stopped.
     pub stop_reason: StopReason,
+    /// How the run ended: converged, cut short by a [`crate::Budget`]
+    /// limit (best-effort prefix partition), or converged with degraded
+    /// matching. See [`Termination`] for the precedence rules.
+    pub termination: Termination,
     /// Total wall-clock seconds of the whole detection.
     pub total_secs: f64,
 }
@@ -163,11 +243,37 @@ mod tests {
             levels: vec![lvl(1.0, 2.0, 3.0), lvl(0.5, 0.5, 1.0)],
             level_maps: Vec::new(),
             stop_reason: StopReason::LocalMaximum,
+            termination: Termination::Converged,
             total_secs: 8.0,
         };
         assert_eq!(r.phase_totals(), (1.5, 2.5, 4.0));
         assert!((r.contraction_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(r.levels[0].total_secs(), 6.0);
         assert_eq!(r.edges_per_sec(), 2.0);
+    }
+
+    #[test]
+    fn termination_labels_and_breach_classification() {
+        assert_eq!(Termination::ALL.len(), 6);
+        let labels: Vec<&str> = Termination::ALL.iter().map(|t| t.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "converged",
+                "deadline",
+                "cancelled",
+                "memory-ceiling",
+                "max-levels",
+                "watchdog-degraded"
+            ]
+        );
+        for t in Termination::ALL {
+            assert_eq!(
+                t.is_budget_breach(),
+                !matches!(t, Termination::Converged | Termination::WatchdogDegraded),
+                "{t}"
+            );
+            assert_eq!(t.to_string(), t.as_str());
+        }
     }
 }

@@ -81,6 +81,21 @@ pub struct GraphParts {
     pub self_loop: Vec<Weight>,
 }
 
+impl GraphParts {
+    /// Heap bytes retained by this storage (capacity, not length) — summed
+    /// into the detection engine's scratch-memory ceiling ledger when the
+    /// parts sit in the arena as the shadow graph.
+    pub fn storage_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.src.capacity() * size_of::<VertexId>()
+            + self.dst.capacity() * size_of::<VertexId>()
+            + self.weight.capacity() * size_of::<Weight>()
+            + self.bucket_begin.capacity() * size_of::<usize>()
+            + self.bucket_end.capacity() * size_of::<usize>()
+            + self.self_loop.capacity() * size_of::<Weight>()
+    }
+}
+
 impl Graph {
     /// Assembles a graph from raw parts. Used by the builder and by the
     /// contraction kernel (whose buckets are not contiguous).

@@ -68,6 +68,22 @@ impl MatchScratch {
         self.mate = mate;
         self.edges = edges;
     }
+
+    /// Heap bytes retained by this scratch (capacity, not length) — summed
+    /// into the engine's scratch-memory ceiling ledger.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.mate.capacity() * size_of::<VertexId>()
+            + self.edges.capacity() * size_of::<usize>()
+            + self.best.capacity() * size_of::<u64>()
+            + self.list.capacity() * size_of::<VertexId>()
+            + self.survivors.capacity() * size_of::<VertexId>()
+            + self.proposals.capacity() * size_of::<u64>()
+            + self.pair_edge.capacity() * size_of::<u64>()
+            + self.keep.capacity() * size_of::<bool>()
+            + self.candidates.capacity() * size_of::<usize>()
+            + self.compactor.scratch_bytes()
+    }
 }
 
 /// Computes the greedy maximal matching over positively-scored edges.

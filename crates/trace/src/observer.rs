@@ -18,7 +18,7 @@
 use crate::registry::{decade_bounds, CounterId, GaugeId, HistogramId, Registry};
 use crate::ring::{SpanKind, SpanRecord, SpanRing};
 use pcd_core::{detect_many, Detector};
-use pcd_core::{Config, DetectionResult, LevelObserver, LevelStats};
+use pcd_core::{Config, DetectionResult, LevelObserver, LevelStats, Termination};
 use pcd_graph::Graph;
 use pcd_util::pool::thread_ordinal;
 use pcd_util::timing::TickClock;
@@ -37,6 +37,20 @@ fn phase_index(phase: Phase) -> usize {
     }
 }
 
+/// Index of `t` in [`Termination::ALL`] — the registration order of the
+/// per-reason termination counters.
+fn termination_index(t: Termination) -> usize {
+    Termination::ALL
+        .iter()
+        .position(|&x| x == t)
+        .expect("Termination::ALL covers every variant")
+}
+
+/// Help string for the poisoned-engines counter; shared with the batch
+/// helpers so [`Registry::merge_from`] unifies the series by name.
+const POISONED_HELP: &str =
+    "Detection engines poisoned by a worker panic (each was torn down and rebuilt).";
+
 /// Span recorder + metrics registry behind the [`LevelObserver`] seam.
 pub struct TraceObserver {
     clock: TickClock,
@@ -47,6 +61,9 @@ pub struct TraceObserver {
     levels_total: CounterId,
     merges_total: CounterId,
     edges_scored_total: CounterId,
+    watchdog_degraded_total: CounterId,
+    terminations_total: [CounterId; 6],
+    engines_poisoned_total: CounterId,
     phase_seconds: [HistogramId; 3],
     level_edges_per_second: HistogramId,
     last_modularity: GaugeId,
@@ -94,6 +111,30 @@ impl TraceObserver {
              every level started (the terminal partial level included).",
             &[],
         );
+        let watchdog_degraded_total = reg.counter(
+            "pcd_watchdog_degraded_total",
+            "Levels whose matcher watchdog expired and fell back to \
+             sequential greedy completion.",
+            &[],
+        );
+        let term_help = "Completed runs by termination outcome (best-effort \
+             budget breaches included; strict-mode breaches error instead).";
+        let terminations_total = [
+            Termination::ALL[0],
+            Termination::ALL[1],
+            Termination::ALL[2],
+            Termination::ALL[3],
+            Termination::ALL[4],
+            Termination::ALL[5],
+        ]
+        .map(|t| {
+            reg.counter(
+                "pcd_run_terminations_total",
+                term_help,
+                &[("reason", t.as_str())],
+            )
+        });
+        let engines_poisoned_total = reg.counter("pcd_engines_poisoned_total", POISONED_HELP, &[]);
         let phase_bounds = decade_bounds(-6, 2);
         let phase_help = "Per-level kernel seconds by phase (engine phase-timer reading).";
         let phase_seconds = [
@@ -171,6 +212,9 @@ impl TraceObserver {
             levels_total,
             merges_total,
             edges_scored_total,
+            watchdog_degraded_total,
+            terminations_total,
+            engines_poisoned_total,
             phase_seconds,
             level_edges_per_second,
             last_modularity,
@@ -275,6 +319,9 @@ impl LevelObserver for TraceObserver {
         self.registry.inc(self.levels_total, 1);
         self.registry
             .inc(self.merges_total, stats.pairs_merged as u64);
+        if stats.matcher_degraded {
+            self.registry.inc(self.watchdog_degraded_total, 1);
+        }
         let kernel_secs = stats.total_secs();
         // `observe` drops the non-finite rate of a zero-duration level.
         self.registry.observe(
@@ -293,6 +340,10 @@ impl LevelObserver for TraceObserver {
 
     fn on_run_end(&mut self, result: &DetectionResult) {
         self.registry.inc(self.runs_total, 1);
+        self.registry.inc(
+            self.terminations_total[termination_index(result.termination)],
+            1,
+        );
         self.registry.set(self.last_modularity, result.modularity);
         self.registry.set(self.last_coverage, result.coverage);
         self.registry
@@ -344,6 +395,43 @@ pub fn detect_many_traced(
     for (result, reg) in pairs {
         merged.merge_from(&reg);
         results.push(result);
+    }
+    Ok((results, merged))
+}
+
+/// As [`pcd_core::detect_many_outcomes`], additionally tracing every run
+/// and merging the per-graph registries **in input order**, like
+/// [`detect_many_traced`]. Failed runs contribute no metrics (their
+/// partial recordings are discarded), except that every worker panic
+/// increments `pcd_engines_poisoned_total` in the merged registry — the
+/// counter both exporters surface so poisonings are visible on `/metrics`,
+/// not only in the per-graph `Err`s.
+pub fn detect_many_outcomes_traced(
+    graphs: Vec<Graph>,
+    config: &Config,
+) -> Result<(Vec<Result<DetectionResult, PcdError>>, Registry), PcdError> {
+    config.validate()?;
+    let pairs: Vec<(Result<DetectionResult, PcdError>, Registry)> = graphs
+        .into_par_iter()
+        .map_init(
+            || Detector::new(config.clone()).expect("config validated above"),
+            |det, g| {
+                let mut obs = TraceObserver::new();
+                let outcome = det.run_isolated_observed(g, &mut obs);
+                (outcome, obs.into_registry())
+            },
+        )
+        .collect();
+    let mut merged = Registry::new();
+    let poisoned = merged.counter("pcd_engines_poisoned_total", POISONED_HELP, &[]);
+    let mut results = Vec::with_capacity(pairs.len());
+    for (outcome, reg) in pairs {
+        match &outcome {
+            Ok(_) => merged.merge_from(&reg),
+            Err(e) if e.is_engine_poisoned() => merged.inc(poisoned, 1),
+            Err(_) => {}
+        }
+        results.push(outcome);
     }
     Ok((results, merged))
 }
@@ -506,5 +594,83 @@ mod tests {
     fn detect_many_traced_rejects_invalid_config() {
         let cfg = Config::default().with_max_match_rounds(0);
         assert!(detect_many_traced(Vec::new(), &cfg).is_err());
+    }
+
+    fn termination_counter(reg: &Registry, reason: &str) -> u64 {
+        reg.counters_of("pcd_run_terminations_total")
+            .find(|c| c.labels.iter().any(|(_, v)| v.as_str() == reason))
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn termination_counters_classify_runs() {
+        let mut det = Detector::new(Config::default()).unwrap();
+        let mut obs = TraceObserver::new();
+        let r = det
+            .run_observed(pcd_gen::classic::clique_ring(4, 6), &mut obs)
+            .unwrap();
+        assert_eq!(r.termination, Termination::Converged);
+        let reg = obs.registry();
+        assert_eq!(termination_counter(reg, "converged"), 1);
+        for reason in ["deadline", "cancelled", "memory-ceiling", "max-levels"] {
+            assert_eq!(termination_counter(reg, reason), 0, "{reason}");
+        }
+        assert_eq!(counter(reg, "pcd_engines_poisoned_total"), 0);
+    }
+
+    #[test]
+    fn budget_breaches_land_in_their_reason_counter() {
+        let cfg = Config::default().with_budget(pcd_core::Budget::unarmed().with_max_levels(1));
+        let mut det = Detector::new(cfg).unwrap();
+        let mut obs = TraceObserver::new();
+        let r = det
+            .run_observed(pcd_gen::classic::clique_ring(4, 6), &mut obs)
+            .unwrap();
+        assert_eq!(r.termination, Termination::MaxLevels);
+        let reg = obs.registry();
+        assert_eq!(termination_counter(reg, "max-levels"), 1);
+        assert_eq!(termination_counter(reg, "converged"), 0);
+    }
+
+    #[test]
+    fn watchdog_degradation_is_counted() {
+        // A round cap of 1 forces the sequential fallback on any level the
+        // parallel matcher cannot finish in one round.
+        let cfg = Config::default().with_max_match_rounds(1);
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(8, 11));
+        let mut det = Detector::new(cfg).unwrap();
+        let mut obs = TraceObserver::new();
+        let r = det.run_observed(g, &mut obs).unwrap();
+        let degraded = r.levels.iter().filter(|l| l.matcher_degraded).count() as u64;
+        assert_eq!(
+            counter(obs.registry(), "pcd_watchdog_degraded_total"),
+            degraded
+        );
+        if degraded > 0 {
+            assert_eq!(r.termination, Termination::WatchdogDegraded);
+            assert_eq!(termination_counter(obs.registry(), "watchdog-degraded"), 1);
+        }
+    }
+
+    #[test]
+    fn detect_many_outcomes_traced_matches_traced_on_clean_batches() {
+        let graphs: Vec<Graph> = [3u64, 5]
+            .iter()
+            .map(|&s| pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(7, s)))
+            .collect();
+        let cfg = Config::default();
+        let (outcomes, reg) = detect_many_outcomes_traced(graphs.clone(), &cfg).unwrap();
+        let (plain, plain_reg) = detect_many_traced(graphs, &cfg).unwrap();
+        assert_eq!(outcomes.len(), plain.len());
+        for (o, p) in outcomes.iter().zip(&plain) {
+            let o = o.as_ref().expect("clean batch");
+            assert_eq!(o.assignment, p.assignment);
+        }
+        assert_eq!(
+            counter(&reg, "pcd_runs_total"),
+            counter(&plain_reg, "pcd_runs_total")
+        );
+        assert_eq!(counter(&reg, "pcd_engines_poisoned_total"), 0);
     }
 }

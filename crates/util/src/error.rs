@@ -71,6 +71,25 @@ pub enum PcdError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// A resource budget was breached under strict mode. Non-strict runs
+    /// never surface this: they return the best-effort partition from
+    /// completed levels instead.
+    BudgetExceeded {
+        /// Which budget fired: `"deadline"`, `"cancelled"`,
+        /// `"memory-ceiling"`, or `"max-levels"`.
+        resource: &'static str,
+        /// Contraction levels completed before the breach was detected.
+        levels_completed: usize,
+        /// Human-readable description of the breached limit.
+        detail: String,
+    },
+    /// A detection engine was poisoned by a panicking worker. The engine
+    /// has been torn down and rebuilt; only the panicking graph's result
+    /// is lost.
+    EnginePoisoned {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
     /// An error wrapped with higher-level context (e.g. a file path).
     Context {
         /// The added context.
@@ -114,6 +133,26 @@ impl PcdError {
         }
     }
 
+    /// Builds a [`PcdError::BudgetExceeded`].
+    pub fn budget(
+        resource: &'static str,
+        levels_completed: usize,
+        detail: impl Into<String>,
+    ) -> Self {
+        PcdError::BudgetExceeded {
+            resource,
+            levels_completed,
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a [`PcdError::EnginePoisoned`].
+    pub fn poisoned(detail: impl Into<String>) -> Self {
+        PcdError::EnginePoisoned {
+            detail: detail.into(),
+        }
+    }
+
     /// Wraps `self` with context (typically a file path or command name).
     #[must_use]
     pub fn context(self, context: impl Into<String>) -> Self {
@@ -126,10 +165,28 @@ impl PcdError {
     /// True if this error (or the error it wraps) is an
     /// [`PcdError::InvariantViolation`].
     pub fn is_invariant_violation(&self) -> bool {
+        matches!(self.root(), PcdError::InvariantViolation { .. })
+    }
+
+    /// True if this error (or the error it wraps) is a
+    /// [`PcdError::BudgetExceeded`].
+    pub fn is_budget_exceeded(&self) -> bool {
+        matches!(self.root(), PcdError::BudgetExceeded { .. })
+    }
+
+    /// True if this error (or the error it wraps) is an
+    /// [`PcdError::EnginePoisoned`].
+    pub fn is_engine_poisoned(&self) -> bool {
+        matches!(self.root(), PcdError::EnginePoisoned { .. })
+    }
+
+    /// The innermost error, unwrapping any [`PcdError::Context`] layers.
+    /// Callers that classify errors (the CLI's exit codes) branch on this
+    /// so wrapping never changes a classification.
+    pub fn root(&self) -> &PcdError {
         match self {
-            PcdError::InvariantViolation { .. } => true,
-            PcdError::Context { source, .. } => source.is_invariant_violation(),
-            _ => false,
+            PcdError::Context { source, .. } => source.root(),
+            other => other,
         }
     }
 }
@@ -151,6 +208,20 @@ impl fmt::Display for PcdError {
                     f,
                     "invariant violation at level {level} in {phase} phase: {detail}"
                 )
+            }
+            PcdError::BudgetExceeded {
+                resource,
+                levels_completed,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "budget exceeded ({resource}) after {levels_completed} completed level(s): \
+                     {detail}"
+                )
+            }
+            PcdError::EnginePoisoned { detail } => {
+                write!(f, "detection engine poisoned by a worker panic: {detail}")
             }
             PcdError::Context { context, source } => write!(f, "{context}: {source}"),
         }
@@ -204,6 +275,21 @@ mod tests {
         let e = PcdError::invariant(1, Phase::Score, "NaN").context("detect");
         assert!(e.is_invariant_violation());
         assert!(!PcdError::usage("nope").is_invariant_violation());
+    }
+
+    #[test]
+    fn budget_and_poison_classify_through_context() {
+        let e = PcdError::budget("deadline", 3, "5ms elapsed").context("detect");
+        assert!(e.is_budget_exceeded());
+        assert!(!e.is_invariant_violation());
+        assert!(e.to_string().contains("budget exceeded (deadline)"));
+        assert!(e.to_string().contains("3 completed level(s)"));
+
+        let p = PcdError::poisoned("index out of bounds").context("batch");
+        assert!(p.is_engine_poisoned());
+        assert!(!p.is_budget_exceeded());
+        assert!(p.to_string().contains("poisoned"));
+        assert!(matches!(p.root(), PcdError::EnginePoisoned { .. }));
     }
 
     #[test]

@@ -44,7 +44,11 @@ gen options:
 detect options:
   --scorer modularity|conductance|heavy
   --coverage F     stop at coverage >= F (paper rule: 0.5)
-  --max-levels N   stop after N contraction levels
+  --max-levels N   budget: stop after N contraction levels
+  --deadline-ms N  budget: wall-clock deadline; on expiry the best-effort
+                   partition from completed levels is returned
+  --strict-budget  treat a budget breach as an error (exit code 3) instead
+                   of returning the best-effort partition (no value)
   --max-size N     mask merges creating communities above N vertices
   --refine N       run N refinement sweeps afterwards
   --threads N      rayon pool size (0 = default)
@@ -63,7 +67,13 @@ communities options:
   --top N          how many largest communities to print (default 20)
 
 Files ending in .bin use the compact binary format; anything else is a
-whitespace edge list.";
+whitespace edge list.
+
+exit codes:
+  0  success (including best-effort partitions under a non-strict budget)
+  1  internal error (invariant violation, poisoned engine)
+  2  invalid input or usage (bad flags, unreadable or corrupt graphs)
+  3  budget exceeded under --strict-budget";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,7 +89,7 @@ fn main() -> ExitCode {
     }
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
@@ -101,8 +111,24 @@ fn main() -> ExitCode {
             if matches!(e, PcdError::Usage { .. }) {
                 eprintln!("run parcomm --help for usage");
             }
-            ExitCode::FAILURE
+            exit_code_for(&e)
         }
+    }
+}
+
+/// The CLI's exit-code contract (documented in `USAGE`): 2 for anything the
+/// caller can fix (bad flags, unreadable or corrupt inputs), 3 for a strict
+/// budget breach, 1 for genuine internal failures. Classification looks at
+/// the root cause so a `Context`-wrapped parse error still exits 2.
+fn exit_code_for(e: &PcdError) -> ExitCode {
+    match e.root() {
+        PcdError::Usage { .. }
+        | PcdError::Parse { .. }
+        | PcdError::Corrupt { .. }
+        | PcdError::Config { .. }
+        | PcdError::Io(_) => ExitCode::from(2),
+        PcdError::BudgetExceeded { .. } => ExitCode::from(3),
+        _ => ExitCode::FAILURE,
     }
 }
 
@@ -125,7 +151,7 @@ fn print_kernels() {
 
 /// Flags that take no value (presence-only switches). Everything else in
 /// this CLI takes exactly one value.
-const BOOL_FLAGS: &[&str] = &["--progress"];
+const BOOL_FLAGS: &[&str] = &["--progress", "--strict-budget"];
 
 struct Flags<'a>(&'a [String]);
 
@@ -321,6 +347,8 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             "--scorer",
             "--coverage",
             "--max-levels",
+            "--deadline-ms",
+            "--strict-budget",
             "--max-size",
             "--refine",
             "--threads",
@@ -350,12 +378,26 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             .map_err(|_| usage(format!("bad value for --coverage: '{c}'")))?;
         config = config.with_criterion(Criterion::Coverage(c));
     }
+    // Budget limits ride the Budget subsystem, not Criterion: breaches are
+    // reported via `termination` (or exit 3 under --strict-budget) instead
+    // of looking like ordinary convergence.
+    let mut budget = Budget::unarmed();
     if let Some(n) = f.get("--max-levels") {
-        config = config.with_criterion(Criterion::MaxLevels(
+        budget = budget.with_max_levels(
             n.parse()
                 .map_err(|_| usage(format!("bad value for --max-levels: '{n}'")))?,
-        ));
+        );
     }
+    if let Some(ms) = f.get("--deadline-ms") {
+        budget = budget.with_deadline_ms(
+            ms.parse()
+                .map_err(|_| usage(format!("bad value for --deadline-ms: '{ms}'")))?,
+        );
+    }
+    if f.has("--strict-budget") {
+        budget = budget.strict();
+    }
+    config = config.with_budget(budget);
     if let Some(n) = f.get("--max-size") {
         config = config.with_max_community_size(
             n.parse()
@@ -420,6 +462,15 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
             100.0 * m / (s + m + c),
             100.0 * c / (s + m + c)
         );
+    }
+    if r.termination.is_budget_breach() {
+        println!(
+            "termination:  {} (best-effort partition from {} completed level(s))",
+            r.termination,
+            r.levels.len()
+        );
+    } else if r.termination != Termination::Converged {
+        println!("termination:  {}", r.termination);
     }
     let degraded = r.levels.iter().filter(|l| l.matcher_degraded).count();
     if degraded > 0 {

@@ -44,12 +44,13 @@ pub use pcd_util as util;
 /// The names most programs need.
 pub mod prelude {
     pub use pcd_core::{
-        detect, detect_many, try_detect, Config, ContractorKind, Criterion, Detector,
-        LevelObserver, MatcherKind, Paranoia, ScorerKind,
+        detect, detect_many, detect_many_outcomes, try_detect, Budget, CancelToken, Config,
+        ContractorKind, Criterion, Detector, LevelObserver, MatcherKind, Paranoia, ScorerKind,
+        Termination,
     };
     pub use pcd_graph::{Graph, GraphBuilder};
     pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};
-    pub use pcd_trace::{detect_many_traced, TraceObserver};
+    pub use pcd_trace::{detect_many_outcomes_traced, detect_many_traced, TraceObserver};
     pub use pcd_util::{PcdError, VertexId, Weight};
 }
 

@@ -104,6 +104,9 @@ fn help_prints_full_usage() {
         assert!(stdout.contains("usage: parcomm"), "{args:?}: {stdout}");
         assert!(stdout.contains("--paranoia"), "{args:?}: {stdout}");
         assert!(stdout.contains("--max-match-rounds"), "{args:?}: {stdout}");
+        assert!(stdout.contains("--deadline-ms"), "{args:?}: {stdout}");
+        assert!(stdout.contains("--strict-budget"), "{args:?}: {stdout}");
+        assert!(stdout.contains("exit codes:"), "{args:?}: {stdout}");
     }
 }
 
@@ -444,6 +447,101 @@ fn missing_file_reports_error() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    // Everything the caller can fix — bad flags, unknown commands,
+    // unreadable inputs, invalid knob values — exits 2.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown command");
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no arguments");
+    let out = bin()
+        .args(["detect", "/nonexistent/graph.bin"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing file");
+
+    let dir = tmpdir("exit-codes");
+    let graph = dir.join("ring.bin");
+    assert!(bin()
+        .args(["gen", "clique-ring", "--cliques", "6", "--size", "5", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--coverage", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "invalid config");
+
+    // A strict budget breach is its own exit code, 3.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--deadline-ms", "0", "--strict-budget"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "strict budget breach");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("budget exceeded"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_strict_deadline_returns_best_effort_partition() {
+    let dir = tmpdir("deadline");
+    let graph = dir.join("ring.bin");
+    assert!(bin()
+        .args(["gen", "clique-ring", "--cliques", "6", "--size", "5", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let assignments = dir.join("a.txt");
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--deadline-ms", "0", "--assignments"])
+        .arg(&assignments)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("termination:  deadline"), "{stdout}");
+    assert!(stdout.contains("best-effort"), "{stdout}");
+    // An expired deadline at level start leaves the singleton partition —
+    // still complete: one line per vertex.
+    assert!(stdout.contains("communities:  30"), "{stdout}");
+    let lines = std::fs::read_to_string(&assignments).unwrap();
+    assert_eq!(lines.lines().count(), 30);
+
+    // --max-levels now also reports through the termination contract.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--max-levels", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("termination:  max-levels"), "{stdout}");
+    assert!(stdout.contains("levels:       1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -42,6 +42,7 @@ fn assert_same(a: &DetectionResult, b: &DetectionResult, what: &str) {
     assert_eq!(a.coverage, b.coverage, "{what}: coverage");
     assert_eq!(a.level_maps, b.level_maps, "{what}: level_maps");
     assert_eq!(a.stop_reason, b.stop_reason, "{what}: stop_reason");
+    assert_eq!(a.termination, b.termination, "{what}: termination");
     assert_eq!(a.levels.len(), b.levels.len(), "{what}: level count");
     for (la, lb) in a.levels.iter().zip(&b.levels) {
         assert_eq!(la.num_vertices, lb.num_vertices, "{what}: level |V|");
@@ -117,6 +118,50 @@ fn attached_trace_observer_changes_zero_bits() {
                     observed.levels.len(),
                     "{what}: levels counter"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn unarmed_and_non_binding_budgets_change_zero_bits() {
+    // The budget sentinel's zero-overhead claim, as a correctness
+    // statement: for every kernel combination, a run with the default
+    // unarmed budget, a run with an explicitly constructed unarmed
+    // budget, and a run with an armed but non-binding budget (generous
+    // deadline, huge caps, a live cancel token nobody cancels) must all
+    // be bit-identical — and all converge, never reporting a breach.
+    let g = rmat_graph(&RmatParams::paper(7, 11));
+    for scorer in SCORERS {
+        for matcher in MATCHERS {
+            for contractor in CONTRACTORS {
+                let base = Config::default()
+                    .with_scorer(scorer)
+                    .with_matcher(matcher)
+                    .with_contractor(contractor)
+                    .with_recorded_levels();
+                let what = format!("{scorer:?}/{matcher:?}/{contractor:?} budget");
+                let plain = Detector::new(base.clone())
+                    .expect("valid combo")
+                    .run(g.clone())
+                    .expect("plain run");
+                let explicit = Detector::new(base.clone().with_budget(Budget::unarmed()))
+                    .expect("valid combo")
+                    .run(g.clone())
+                    .expect("explicit-unarmed run");
+                let generous = Budget::unarmed()
+                    .with_deadline(std::time::Duration::from_secs(3600))
+                    .with_max_levels(usize::MAX)
+                    .with_max_scratch_bytes(usize::MAX)
+                    .with_cancel_token(CancelToken::new());
+                assert!(generous.is_armed());
+                let armed = Detector::new(base.with_budget(generous))
+                    .expect("valid combo")
+                    .run(g.clone())
+                    .expect("armed non-binding run");
+                assert_same(&plain, &explicit, &format!("{what} explicit-unarmed"));
+                assert_same(&plain, &armed, &format!("{what} armed-non-binding"));
+                assert_eq!(plain.termination, Termination::Converged, "{what}");
             }
         }
     }

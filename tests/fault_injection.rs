@@ -135,3 +135,124 @@ fn unarmed_plan_is_inert() {
     let reference = detect(test_graph(), &Config::default());
     assert_eq!(clean.assignment, reference.assignment);
 }
+
+#[test]
+fn injected_stall_deterministically_breaches_a_deadline() {
+    // A 50ms stall inside the level-1 match phase against a 5ms deadline:
+    // the post-match boundary check (or, if the host already burned the
+    // 5ms, the level-start check) must fire before any level completes,
+    // so the run returns the untouched singleton partition as Deadline.
+    let mut cfg = Config::default()
+        .with_budget(Budget::unarmed().with_deadline(std::time::Duration::from_millis(5)));
+    cfg.fault = FaultPlan {
+        stall_match_at_level: Some((1, 50)),
+        ..FaultPlan::default()
+    };
+    let g = test_graph();
+    let r = try_detect(g.clone(), &cfg).unwrap();
+    assert_eq!(r.termination, Termination::Deadline);
+    assert_eq!(r.levels.len(), 0);
+    assert_eq!(r.num_communities, g.num_vertices());
+    let identity: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    assert_eq!(r.assignment, identity);
+    assert_eq!(
+        r.community_vertex_counts.iter().sum::<u64>(),
+        g.num_vertices() as u64
+    );
+
+    // The same stall under a strict budget is a structured error.
+    let mut strict = Config::default().with_budget(
+        Budget::unarmed()
+            .with_deadline(std::time::Duration::from_millis(5))
+            .strict(),
+    );
+    strict.fault = FaultPlan {
+        stall_match_at_level: Some((1, 50)),
+        ..FaultPlan::default()
+    };
+    let err = try_detect(test_graph(), &strict).expect_err("strict deadline breach");
+    assert!(err.is_budget_exceeded());
+}
+
+#[test]
+fn injected_panic_poisons_only_the_isolated_engine() {
+    let mut cfg = Config::default();
+    cfg.fault = FaultPlan {
+        panic_contract_at_level: Some(1),
+        ..FaultPlan::default()
+    };
+    let mut engine = Detector::new(cfg).unwrap();
+    let err = engine
+        .run_isolated(test_graph())
+        .expect_err("injected contract panic");
+    assert!(err.is_engine_poisoned());
+    assert!(err.to_string().contains("contract-phase panic"), "{err}");
+    // The rebuilt engine is usable again — the same run yields the same
+    // structured error, never a propagated panic.
+    let again = engine
+        .run_isolated(test_graph())
+        .expect_err("still faulted");
+    assert!(again.is_engine_poisoned());
+    // And a plain (unisolated) run on a clean engine with the same graph
+    // still works, proving the poison never leaked into shared state.
+    let clean = detect(test_graph(), &Config::default());
+    assert!(clean.num_communities < test_graph().num_vertices());
+}
+
+#[test]
+fn batch_panic_fails_exactly_the_graph_that_reaches_the_faulted_level() {
+    // Pick a level only the big graph reaches: panic there, and the batch
+    // must return one poisoned slot while every other graph's result is
+    // bit-identical to its solo run.
+    let big = parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(9, 17));
+    let smalls = vec![
+        parcomm::gen::classic::clique_ring(3, 3),
+        parcomm::gen::classic::clique_ring(4, 3),
+    ];
+    let clean = Config::default();
+    let deep = detect(big.clone(), &clean).levels.len();
+    let solo: Vec<_> = smalls.iter().map(|g| detect(g.clone(), &clean)).collect();
+    for (i, r) in solo.iter().enumerate() {
+        assert!(
+            r.levels.len() < deep,
+            "small graph #{i} reaches level {deep} too; pick a smaller one"
+        );
+    }
+
+    let mut cfg = Config::default();
+    cfg.fault = FaultPlan {
+        panic_contract_at_level: Some(deep),
+        ..FaultPlan::default()
+    };
+    let mut graphs = vec![big];
+    graphs.extend(smalls);
+    let outcomes = detect_many_outcomes(graphs, &cfg).unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert!(
+        outcomes[0]
+            .as_ref()
+            .expect_err("big graph panics")
+            .is_engine_poisoned(),
+        "only the big graph reaches level {deep}"
+    );
+    for (r, lone) in outcomes[1..].iter().zip(&solo) {
+        let r = r.as_ref().expect("small graphs complete");
+        assert_eq!(r.assignment, lone.assignment);
+        assert_eq!(r.modularity, lone.modularity);
+        assert_eq!(r.levels.len(), lone.levels.len());
+    }
+
+    // A level-1 panic fails every graph — but as per-graph errors, never
+    // a propagated panic out of the batch call.
+    let mut all_fault = Config::default();
+    all_fault.fault = FaultPlan {
+        panic_contract_at_level: Some(1),
+        ..FaultPlan::default()
+    };
+    let graphs = vec![test_graph(), test_graph()];
+    for outcome in detect_many_outcomes(graphs, &all_fault).unwrap() {
+        assert!(outcome
+            .expect_err("every graph panics at level 1")
+            .is_engine_poisoned());
+    }
+}

@@ -23,6 +23,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut alloc_stats = false;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut max_observed_overhead: Option<f64> = None;
+    let mut max_budget_overhead: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut forward: Vec<String> = Vec::new();
@@ -51,6 +52,13 @@ pub fn run(args: &[String]) -> ExitCode {
                             .map_err(|_| "bad --max-observed-overhead".to_string())?,
                     );
                 }
+                "--max-budget-overhead" => {
+                    max_budget_overhead = Some(
+                        val("--max-budget-overhead")?
+                            .parse()
+                            .map_err(|_| "bad --max-budget-overhead".to_string())?,
+                    );
+                }
                 "--out" => out = Some(val("--out")?),
                 "--baseline" => baseline = Some(val("--baseline")?),
                 // Pass instance-shape flags straight through to bench_gate.
@@ -74,6 +82,10 @@ pub fn run(args: &[String]) -> ExitCode {
     }
     if max_observed_overhead.is_some_and(|l| l < 1.0) {
         eprintln!("xtask bench: --max-observed-overhead is a ratio >= 1.0 (e.g. 1.02 allows +2%)");
+        return ExitCode::FAILURE;
+    }
+    if max_budget_overhead.is_some_and(|l| l < 1.0) {
+        eprintln!("xtask bench: --max-budget-overhead is a ratio >= 1.0 (e.g. 1.01 allows +1%)");
         return ExitCode::FAILURE;
     }
 
@@ -103,8 +115,12 @@ pub fn run(args: &[String]) -> ExitCode {
         out_path.display(),
         report.len()
     );
-    if !observed_overhead_ok(&report, max_observed_overhead, smoke) {
+    if !overhead_ok(&report, "observed", max_observed_overhead, smoke) {
         eprintln!("xtask bench: observed arm exceeds --max-observed-overhead");
+        return ExitCode::FAILURE;
+    }
+    if !overhead_ok(&report, "budgeted-unarmed", max_budget_overhead, smoke) {
+        eprintln!("xtask bench: budgeted-unarmed arm exceeds --max-budget-overhead");
         return ExitCode::FAILURE;
     }
     if smoke {
@@ -161,30 +177,33 @@ pub fn run(args: &[String]) -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: cargo xtask bench [--smoke] [--skip-run] [--alloc-stats] \
-         [--threshold 1.15] [--max-observed-overhead 1.02] [--out FILE] \
+         [--threshold 1.15] [--max-observed-overhead 1.02] \
+         [--max-budget-overhead 1.01] [--out FILE] \
          [--baseline FILE] [--scale N] [--sbm-vertices N] [--threads 1,2,8] \
          [--runs N] [--label L]"
     );
 }
 
-/// Prints the observed-vs-reuse ratio for every (instance, threads) pair
-/// carrying both arms — the whole-run cost of the attached tracing
-/// recorder — and gates their pooled geometric mean against `limit`.
+/// Prints the `arm`-vs-reuse ratio for every (instance, threads) pair
+/// carrying both arms — the whole-run cost of that arm's extra machinery
+/// (the tracing recorder for `observed`, the armed budget sentinel for
+/// `budgeted-unarmed`) — and gates their pooled geometric mean against
+/// `limit`.
 ///
 /// Per cell it prefers the report's `overhead_vs_reuse` (the min/min
 /// ratio of the two arms' fastest interleaved samples, which additive
 /// host noise falls out of) and falls back to the ratio of the two cell
 /// medians for reports that predate the field. The gate pools because
-/// the recorder does identical per-level work on every instance, so the
-/// cells are replicate measurements of one quantity: a single cell's
-/// min-ratio still carries a few percent of shared-host noise — more
-/// than a tight budget — while the geometric mean over all cells does
-/// not. Per-cell ratios are printed for localization. Smoke-mode
+/// the extra machinery does identical per-level work on every instance,
+/// so the cells are replicate measurements of one quantity: a single
+/// cell's min-ratio still carries a few percent of shared-host noise —
+/// more than a tight budget — while the geometric mean over all cells
+/// does not. Per-cell ratios are printed for localization. Smoke-mode
 /// timings carry no signal, so there the ratios are reported but never
 /// gating.
-fn observed_overhead_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool {
+fn overhead_ok(report: &[Cell], arm: &str, limit: Option<f64>, smoke: bool) -> bool {
     let mut ratios = Vec::new();
-    for cell in report.iter().filter(|c| c.arm == "observed") {
+    for cell in report.iter().filter(|c| c.arm == arm) {
         let plain = report
             .iter()
             .find(|c| c.arm == "reuse" && c.instance == cell.instance && c.threads == cell.threads);
@@ -194,7 +213,7 @@ fn observed_overhead_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> boo
             None => (cell.median_secs / plain.median_secs, "of-medians"),
         };
         println!(
-            "  {:28} t={:<2} observed/reuse {ratio:.4}x ({how})",
+            "  {:28} t={:<2} {arm}/reuse {ratio:.4}x ({how})",
             cell.instance, cell.threads
         );
         ratios.push(ratio);
@@ -205,7 +224,7 @@ fn observed_overhead_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> boo
     let mean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     let over = !smoke && limit.is_some_and(|l| mean > l);
     println!(
-        "  observed/reuse geometric mean over {} cell(s): {mean:.4}x{}",
+        "  {arm}/reuse geometric mean over {} cell(s): {mean:.4}x{}",
         ratios.len(),
         if over { "  OVER BUDGET" } else { "" }
     );
@@ -275,11 +294,12 @@ pub struct Cell {
     pub threads: u64,
     pub arm: String,
     pub median_secs: f64,
-    /// Ratio of the observed and reuse arms' fastest samples, emitted by
-    /// bench_gate on `observed` cells only. Preferred by the overhead
-    /// gate over a ratio of independent medians because additive host
-    /// noise falls out of a min/min ratio over interleaved rounds.
-    /// Absent in reports from before the observed arm existed.
+    /// Ratio of this arm's and the reuse arm's fastest samples, emitted
+    /// by bench_gate on `observed` and `budgeted-unarmed` cells only.
+    /// Preferred by the overhead gate over a ratio of independent medians
+    /// because additive host noise falls out of a min/min ratio over
+    /// interleaved rounds. Absent in reports from before those arms
+    /// existed.
     pub overhead_vs_reuse: Option<f64>,
 }
 
@@ -345,7 +365,14 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
         let o = r.as_obj().ok_or("result entries must be objects")?;
         let instance = o_str(o, "instance")?;
         let arm = o_str(o, "arm")?;
-        const ARMS: [&str; 5] = ["reuse", "fresh", "observed", "batch-warm", "batch-cold"];
+        const ARMS: [&str; 6] = [
+            "reuse",
+            "fresh",
+            "observed",
+            "budgeted-unarmed",
+            "batch-warm",
+            "batch-cold",
+        ];
         if !ARMS.contains(&arm.as_str()) {
             return Err(format!(
                 "result.arm must be one of {}, got {arm:?}",
@@ -380,18 +407,18 @@ pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
             ));
         }
         // Optional for backward compatibility with pre-observability
-        // reports; when present it must be null except on `observed`
-        // cells, where it must be a positive number.
+        // reports; when present it must be null except on `observed` and
+        // `budgeted-unarmed` cells, where it must be a positive number.
         let overhead_vs_reuse = match obj_get_opt(o, "overhead_vs_reuse") {
             None | Some(Json::Null) => None,
             Some(v) => {
                 let x = v
                     .as_f64()
                     .ok_or("result.overhead_vs_reuse must be a number or null")?;
-                if arm != "observed" {
+                if arm != "observed" && arm != "budgeted-unarmed" {
                     return Err(format!(
-                        "overhead_vs_reuse is only meaningful on the observed arm, \
-                         found on {instance} t={threads} {arm}"
+                        "overhead_vs_reuse is only meaningful on the observed and \
+                         budgeted-unarmed arms, found on {instance} t={threads} {arm}"
                     ));
                 }
                 if x <= 0.0 {
@@ -710,12 +737,47 @@ mod tests {
             overhead_vs_reuse: None,
         };
         let pair = vec![mk("reuse", 1.0), mk("observed", 1.05)];
-        assert!(observed_overhead_ok(&pair, None, false));
-        assert!(observed_overhead_ok(&pair, Some(1.10), false));
-        assert!(!observed_overhead_ok(&pair, Some(1.02), false));
+        assert!(overhead_ok(&pair, "observed", None, false));
+        assert!(overhead_ok(&pair, "observed", Some(1.10), false));
+        assert!(!overhead_ok(&pair, "observed", Some(1.02), false));
         // Smoke-mode timings never gate, and a lone arm has no pair to check.
-        assert!(observed_overhead_ok(&pair, Some(1.02), true));
-        assert!(observed_overhead_ok(&pair[1..], Some(1.02), false));
+        assert!(overhead_ok(&pair, "observed", Some(1.02), true));
+        assert!(overhead_ok(&pair[1..], "observed", Some(1.02), false));
+    }
+
+    #[test]
+    fn budgeted_unarmed_arm_is_valid_and_gated_independently() {
+        let budgeted = GOOD.replace("\"reuse\"", "\"budgeted-unarmed\"");
+        let cells = validate_report(&parse_json(&budgeted).unwrap()).unwrap();
+        assert_eq!(cells[0].arm, "budgeted-unarmed");
+        let mk = |arm: &str, median_secs: f64| Cell {
+            instance: "g".into(),
+            threads: 1,
+            arm: arm.into(),
+            median_secs,
+            overhead_vs_reuse: None,
+        };
+        // A slow observed arm must not fail the budget gate, and vice
+        // versa: each gate reads only its own arm's cells.
+        let cells = vec![
+            mk("reuse", 1.0),
+            mk("observed", 1.20),
+            mk("budgeted-unarmed", 1.005),
+        ];
+        assert!(overhead_ok(&cells, "budgeted-unarmed", Some(1.01), false));
+        assert!(!overhead_ok(&cells, "observed", Some(1.01), false));
+        let flipped = vec![
+            mk("reuse", 1.0),
+            mk("observed", 1.005),
+            mk("budgeted-unarmed", 1.20),
+        ];
+        assert!(!overhead_ok(
+            &flipped,
+            "budgeted-unarmed",
+            Some(1.01),
+            false
+        ));
+        assert!(overhead_ok(&flipped, "observed", Some(1.01), false));
     }
 
     #[test]
@@ -735,7 +797,7 @@ mod tests {
             mk("b", "reuse", None),
             mk("b", "observed", Some(0.99)),
         ];
-        assert!(observed_overhead_ok(&mixed, Some(1.02), false));
+        assert!(overhead_ok(&mixed, "observed", Some(1.02), false));
         // Both cells 3% over: the pooled mean is too, and the gate fails.
         let both = vec![
             mk("a", "reuse", None),
@@ -743,7 +805,7 @@ mod tests {
             mk("b", "reuse", None),
             mk("b", "observed", Some(1.03)),
         ];
-        assert!(!observed_overhead_ok(&both, Some(1.02), false));
+        assert!(!overhead_ok(&both, "observed", Some(1.02), false));
     }
 
     #[test]
@@ -758,11 +820,11 @@ mod tests {
         // Medians 10% apart (drift), but the paired per-round ratio says
         // 1.005x — the gate must trust the pairing and pass.
         let drifted = vec![mk("reuse", 1.0, None), mk("observed", 1.10, Some(1.005))];
-        assert!(observed_overhead_ok(&drifted, Some(1.02), false));
+        assert!(overhead_ok(&drifted, "observed", Some(1.02), false));
         // And the converse: healthy-looking medians with a bad paired
         // ratio must still fail.
         let masked = vec![mk("reuse", 1.0, None), mk("observed", 1.0, Some(1.08))];
-        assert!(!observed_overhead_ok(&masked, Some(1.02), false));
+        assert!(!overhead_ok(&masked, "observed", Some(1.02), false));
     }
 
     #[test]
@@ -778,14 +840,20 @@ mod tests {
             validate_report(&parse_json(GOOD).unwrap()).unwrap()[0].overhead_vs_reuse,
             None
         );
-        // ...but a number on a non-observed arm, or a non-positive one, is not.
+        // ...and the field is legal on budgeted-unarmed cells too...
+        let on_budgeted = with_field.replace("\"observed\"", "\"budgeted-unarmed\"");
+        assert_eq!(
+            validate_report(&parse_json(&on_budgeted).unwrap()).unwrap()[0].overhead_vs_reuse,
+            Some(1.01)
+        );
+        // ...but a number on any other arm, or a non-positive one, is not.
         let on_reuse = GOOD.replace(
             "\"allocations\": null",
             "\"allocations\": null, \"overhead_vs_reuse\": 1.01",
         );
         assert!(validate_report(&parse_json(&on_reuse).unwrap())
             .unwrap_err()
-            .contains("only meaningful on the observed arm"));
+            .contains("only meaningful on the observed and budgeted-unarmed arms"));
         let non_positive = with_field.replace("1.01", "0");
         assert!(validate_report(&parse_json(&non_positive).unwrap())
             .unwrap_err()
