@@ -29,6 +29,7 @@ pub fn label_propagation(g: &Graph, max_sweeps: usize) -> Vec<VertexId> {
             for (u, w) in csr.neighbors(v as u32) {
                 *tally.entry(label[u as usize]).or_insert(0) += w;
             }
+            // analyze: allow(panic, reason = "zero-degree vertices were skipped above, so the tally has at least one entry")
             let max_w = *tally.values().max().expect("non-empty tally");
             // Retention: a current label tied for the max stays.
             if tally.get(&label[v]) == Some(&max_w) {
@@ -40,6 +41,7 @@ pub fn label_propagation(g: &Graph, max_sweeps: usize) -> Vec<VertexId> {
                 .filter(|&(_, &w)| w == max_w)
                 .map(|(&l, _)| l)
                 .max_by_key(|&l| mix64(l as u64 ^ salt))
+                // analyze: allow(panic, reason = "the label carrying max_w itself survives the filter")
                 .expect("non-empty argmax");
             if best != label[v] {
                 label[v] = best;

@@ -52,6 +52,10 @@ fn local_move_parallel(g: &Graph) -> Vec<VertexId> {
             if csr.degree(v as u32) == 0 {
                 return;
             }
+            // ORDERING: RELAXED loads everywhere — this baseline is
+            // deliberately racy (Louvain-style asynchronous sweeps read
+            // possibly-stale labels/volumes); no memory is published
+            // through these cells, only monotone convergence pressure.
             let mut links: HashMap<u32, u64> = HashMap::new();
             for (u, w) in csr.neighbors(v as u32) {
                 *links.entry(comm[u as usize].load(RELAXED)).or_insert(0) += w;
@@ -76,8 +80,10 @@ fn local_move_parallel(g: &Graph) -> Vec<VertexId> {
                 }
             }
             if best != cur {
-                // Racy but volume-conserving: the fetch_add/sub pair keeps
-                // Σ vol_c == 2m regardless of interleaving.
+                // ORDERING: RELAXED is enough — racy but volume-conserving:
+                // the fetch_add/sub pair keeps Σ vol_c == 2m regardless of
+                // interleaving, and the sweep barrier (par_iter join)
+                // orders publication; `moved` is a counter, not a flag.
                 comm[v].store(best, RELAXED);
                 vol_c[cur as usize].fetch_sub(vol_v[v] as i64, RELAXED);
                 vol_c[best as usize].fetch_add(vol_v[v] as i64, RELAXED);

@@ -42,6 +42,7 @@ pub fn run_sweep(g: &Graph, config: &Config, threads: &[usize], runs: usize) -> 
             SweepPoint {
                 threads: t,
                 secs: RunStats::new(samples),
+                // analyze: allow(panic, reason = "the sample loop above runs at least once, so `last` is Some")
                 result: last.expect("runs >= 1"),
             }
         })
@@ -53,6 +54,7 @@ pub fn run_sweep(g: &Graph, config: &Config, threads: &[usize], runs: usize) -> 
 /// overhead shape is still visible on small machines).
 pub fn sweep_threads() -> Vec<usize> {
     let mut counts = pcd_util::pool::sweep_thread_counts();
+    // analyze: allow(panic, reason = "sweep_thread_counts always yields at least the 1-thread point")
     let max = *counts.last().unwrap();
     if max < 4 {
         for extra in [2 * max.max(1), 4 * max.max(1)] {

@@ -181,6 +181,11 @@ pub fn contract_into(
         let dst_c = as_atomic_u32(new_dst);
         let self_c = as_atomic_u64(&mut parts.self_loop);
         (0..ne).into_par_iter().for_each(|e| {
+            // ORDERING: RELAXED suffices for every access in this loop —
+            // slot `e` is written by exactly this task (self-loops use
+            // fetch_add for the only cross-task accumulation, which needs
+            // atomicity but no ordering) and the par_iter join barrier
+            // publishes all writes before the sequential reads below.
             let (i, j, w) = g.edge(e);
             let (ni, nj) = (new_of_old[i as usize], new_of_old[j as usize]);
             if ni == nj {
@@ -208,6 +213,8 @@ pub fn contract_into(
         (0..ne).into_par_iter().for_each(|e| {
             let s = new_src[e];
             if s != pcd_util::NO_VERTEX {
+                // ORDERING: RELAXED — pure counter increment; atomicity is
+                // all that matters and the join barrier publishes totals.
                 cells[s as usize].fetch_add(1, RELAXED);
             }
         });
@@ -219,12 +226,16 @@ pub fn contract_into(
     match placement {
         Placement::PrefixSum => {
             bucket_off.clear();
+            // analyze: allow(alloc, reason = "copy into a recycled scratch buffer; capacity amortizes to the level ceiling")
             bucket_off.extend_from_slice(counts);
             exclusive_prefix_sum(bucket_off);
         }
         Placement::FetchAdd => {
             // One global cursor; buckets claim their extent on first touch
             // by any thread, in arrival order.
+            // ORDERING: RELAXED — the fetch_add only needs a unique extent
+            // (atomicity); each `off[v]` slot has a single writer and is
+            // read only after the join barrier publishes it.
             bucket_off.clear();
             bucket_off.resize(num_new, usize::MAX);
             let global = AtomicUsize::new(0);
@@ -243,6 +254,7 @@ pub fn contract_into(
 
     // Phase 2b: scatter into the bucketed temp arrays.
     cursor.clear();
+    // analyze: allow(alloc, reason = "copy into a recycled scratch buffer; capacity amortizes to the level ceiling")
     cursor.extend_from_slice(bucket_off);
     tmp_dst.clear();
     tmp_dst.resize(live, 0);
@@ -255,6 +267,9 @@ pub fn contract_into(
         (0..ne).into_par_iter().for_each(|e| {
             let s = new_src[e];
             if s != pcd_util::NO_VERTEX {
+                // ORDERING: RELAXED — fetch_add hands each task a distinct
+                // `pos`, so the stores have one writer per slot; the join
+                // barrier publishes them to the dedup pass that follows.
                 let pos = cur[s as usize].fetch_add(1, RELAXED);
                 dst_c[pos].store(new_dst[e], RELAXED);
                 w_c[pos].store(g.weights()[e], RELAXED);
@@ -295,6 +310,7 @@ pub fn contract_into(
     // Phase 4: compact shortened buckets into dense final storage. The
     // final bucket order matches the placement policy's bucket order.
     final_off.clear();
+    // analyze: allow(alloc, reason = "copy into a recycled scratch buffer; capacity amortizes to the level ceiling")
     final_off.extend_from_slice(uniq);
     let total = exclusive_prefix_sum(final_off);
     let final_off: &[usize] = final_off;
@@ -309,6 +325,9 @@ pub fn contract_into(
         let dst_c = as_atomic_u32(&mut parts.dst);
         let w_c = as_atomic_u64(&mut parts.weight);
         (0..num_new).into_par_iter().for_each(|v| {
+            // ORDERING: RELAXED — bucket v's extent [to, to+uniq[v]) is
+            // disjoint per task, so each slot has one writer; the join
+            // barrier publishes the compacted arrays to the builder below.
             let from = bucket_off[v];
             let to = final_off[v];
             for k in 0..uniq[v] {
@@ -319,10 +338,12 @@ pub fn contract_into(
         });
     }
     parts.bucket_begin.clear();
+    // analyze: allow(alloc, reason = "fill of recycled GraphParts buffers; ping-pong recycling amortizes capacity")
     parts.bucket_begin.extend_from_slice(final_off);
     parts.bucket_end.clear();
     parts
         .bucket_end
+        // analyze: allow(alloc, reason = "fill of recycled GraphParts buffers; ping-pong recycling amortizes capacity")
         .extend((0..num_new).map(|v| final_off[v] + uniq[v]));
 
     // Contraction conserves Σw + Σself exactly, so the parent's total

@@ -120,6 +120,9 @@ pub fn contracted_self_loops_into(
     self_loop.resize(num_new, 0);
     {
         let cells = as_atomic_u64(self_loop);
+        // ORDERING: RELAXED — both loops are pure weight accumulations
+        // (atomicity only, no cross-thread publication through the cells);
+        // the par_iter join barriers publish the totals to the caller.
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {

@@ -47,6 +47,8 @@ pub fn contract_linked(g: &Graph, m: &Matching) -> Contraction {
             let (ni, nj) = (new_of_old[i as usize], new_of_old[j as usize]);
             if ni == nj {
                 if !matched[e] {
+                    // ORDERING: RELAXED — self-loop weight accumulation
+                    // needs atomicity only; the join barrier publishes it.
                     self_c[ni as usize].fetch_add(w, RELAXED);
                 }
                 return;
@@ -79,6 +81,8 @@ pub fn contract_linked(g: &Graph, m: &Matching) -> Contraction {
         use pcd_util::sync::AtomicUsize;
         let c: Vec<AtomicUsize> = (0..num_new).map(|_| AtomicUsize::new(0)).collect();
         srcs.par_iter().for_each(|&s| {
+            // ORDERING: RELAXED — counter increment, atomicity only; the
+            // join barrier orders the into_inner() reads after it.
             c[s as usize].fetch_add(1, RELAXED);
         });
         c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()

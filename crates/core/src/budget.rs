@@ -197,6 +197,7 @@ pub(crate) fn breach_detail(t: Termination, budget: &Budget) -> String {
             "level cap of {} reached",
             budget.max_levels.unwrap_or_default()
         ),
+        // analyze: allow(panic, reason = "function contract: callers pass only budget-breach variants; self-tested")
         _ => unreachable!("{t} is not a budget breach"),
     }
 }

@@ -23,6 +23,7 @@ use pcd_util::PcdError;
 /// Panics on an invalid configuration or a paranoia-guard trip; callers
 /// that need structured errors use [`try_detect`].
 pub fn detect(graph: Graph, config: &Config) -> DetectionResult {
+    // analyze: allow(panic, reason = "documented panicking twin of try_detect (see doc comment)")
     try_detect(graph, config).unwrap_or_else(|e| panic!("community detection failed: {e}"))
 }
 

@@ -199,6 +199,8 @@ impl Detector {
             scratch.counts_next.resize(num_new, 0);
             {
                 let cells = as_atomic_u64(&mut scratch.counts_next);
+                // ORDERING: RELAXED — community-size fold is a pure
+                // accumulation; the join barrier publishes the sums.
                 counts.par_iter().enumerate().for_each(|(old, &c)| {
                     cells[new_of_old[old] as usize].fetch_add(c, RELAXED);
                 });
@@ -210,6 +212,8 @@ impl Detector {
             scratch.vol_next.resize(num_new, 0);
             {
                 let cells = as_atomic_u64(&mut scratch.vol_next);
+                // ORDERING: RELAXED — volume fold is a pure accumulation;
+                // the join barrier publishes the sums before the swap.
                 scratch
                     .ctx
                     .vol
@@ -248,6 +252,7 @@ impl Detector {
                 match_secs,
                 contract_secs,
             });
+            // analyze: allow(panic, reason = "a LevelRecord was pushed two statements above")
             observer.on_level_end(levels.last().expect("level just pushed"));
 
             // Boundary check: the arena just hit this level's high-water
@@ -337,6 +342,7 @@ impl Detector {
                 // The scratch arenas may be mid-mutation; rebuild the whole
                 // engine rather than reason about a half-folded level.
                 let config = self.config.clone();
+                // analyze: allow(panic, reason = "the config already passed Detector::new validation once")
                 *self = Detector::new(config).expect("a built Detector's config stays valid");
                 Err(PcdError::poisoned(panic_message(&*payload)))
             }
@@ -385,6 +391,7 @@ pub fn detect_many_outcomes(
     Ok(graphs
         .into_par_iter()
         .map_init(
+            // analyze: allow(panic, reason = "config.validate() succeeded at function entry")
             || Detector::new(config.clone()).expect("config validated above"),
             |det, g| det.run_isolated(g),
         )
@@ -546,6 +553,7 @@ fn guard_scores_finite(level: usize, scores: &[f64]) -> Result<(), PcdError> {
     if scores.par_iter().all(|s| s.is_finite()) {
         return Ok(());
     }
+    // analyze: allow(panic, reason = "position() is Some because the all-finite check just returned false")
     let e = scores.iter().position(|s| !s.is_finite()).unwrap();
     Err(PcdError::invariant(
         level,

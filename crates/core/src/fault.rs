@@ -72,6 +72,7 @@ impl FaultPlan {
     /// Panics at the top of the contract phase if armed for `level`.
     pub fn panic_contract(&self, level: usize) {
         if self.panic_contract_at_level == Some(level) {
+            // analyze: allow(panic, reason = "fault injection exists to panic on purpose; only armed by tests")
             panic!("fault-injection: contract-phase panic at level {level}");
         }
     }

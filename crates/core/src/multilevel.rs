@@ -46,6 +46,7 @@ pub fn detect_multilevel(
     // kernel kinds resolve once for the whole V-cycle's base detection.
     let result = Detector::new(cfg)
         .and_then(|mut det| det.run(graph))
+        // analyze: allow(panic, reason = "documented detect-style panic semantics (see comment above)")
         .unwrap_or_else(|e| panic!("community detection failed: {e}"));
     let outcome = refine_multilevel(&original, &result, sweeps_per_level);
     (result, outcome)

@@ -44,6 +44,7 @@ impl Default for ScoreContext {
     /// ([`ScoreContext::refresh`]) before use.
     fn default() -> Self {
         ScoreContext {
+            // analyze: allow(alloc, reason = "cold constructor: Vec::new is capacity-0 and refresh() sizes it once")
             vol: Vec::new(),
             m: 0,
         }

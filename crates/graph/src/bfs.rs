@@ -16,6 +16,8 @@ pub fn bfs(csr: &Csr, source: VertexId) -> Vec<u32> {
     let nv = csr.num_vertices();
     assert!((source as usize) < nv, "source out of range");
     let dist: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(UNREACHED)).collect();
+    // ORDERING: RELAXED — the array is still thread-local here; the rayon
+    // fork publishes it to the workers.
     dist[source as usize].store(0, RELAXED);
     let mut frontier = vec![source];
     let mut level = 0u32;
@@ -28,6 +30,9 @@ pub fn bfs(csr: &Csr, source: VertexId) -> Vec<u32> {
                 csr.neighbors(v).filter_map(move |(u, _)| {
                     // Claim unreached neighbours; CAS ensures each vertex
                     // joins the next frontier exactly once.
+                    // ORDERING: RELAXED/RELAXED — the claim is the only
+                    // shared state (no payload rides on it); the per-level
+                    // collect() join separates frontiers.
                     dist_ref[u as usize]
                         .compare_exchange(UNREACHED, level, RELAXED, RELAXED)
                         .is_ok()

@@ -67,6 +67,7 @@ impl GraphBuilder {
 /// * zero-weight entries are dropped;
 /// * buckets come out contiguous and sorted by `(src, dst)`.
 pub fn from_edges(nv: usize, edges: Vec<(VertexId, VertexId, Weight)>) -> Graph {
+    // analyze: allow(panic, reason = "documented trusted-input twin of try_from_edges (see doc comment)")
     try_from_edges(nv, edges).unwrap_or_else(|e| panic!("from_edges: {e}"))
 }
 
@@ -110,6 +111,8 @@ pub fn try_from_edges(
                 if w == 0 {
                     None
                 } else if i == j {
+                    // ORDERING: RELAXED — self-loop weight accumulation,
+                    // atomicity only; the join barrier publishes totals.
                     cells[i as usize].fetch_add(w, RELAXED);
                     None
                 } else {
@@ -169,6 +172,9 @@ fn dedup_accumulate(
         let dst_c = pcd_util::sync::as_atomic_u32(&mut dst);
         let w_c = as_atomic_u64(&mut weight);
         (0..n).into_par_iter().for_each(|i| {
+            // ORDERING: RELAXED — run `r`'s src/dst have a single writer
+            // (its head element) and the weight fold needs atomicity only;
+            // the join barrier publishes the arrays to the return below.
             let r = slot[i] + heads[i] as usize - 1;
             if heads[i] {
                 src_c[r].store(sorted[i].0, RELAXED);

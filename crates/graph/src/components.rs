@@ -21,10 +21,16 @@ pub fn components(g: &Graph) -> Vec<VertexId> {
         return label;
     }
     let changed = AtomicBool::new(true);
+    // ORDERING: RELAXED — the swap only resets the convergence flag; all
+    // label traffic is published by the join barriers inside the loop.
     while changed.swap(false, RELAXED) {
         {
             let cells = as_atomic_u32(&mut label);
             // Hook: pull each edge's endpoints to the smaller label.
+            // ORDERING: RELAXED throughout — labels only ever decrease
+            // (fetch_min is monotone), so stale reads cost extra rounds,
+            // never wrong answers; `changed` is a flag with no payload and
+            // the round's join barrier publishes everything.
             (0..g.num_edges()).into_par_iter().for_each(|e| {
                 let (i, j, _) = g.edge(e);
                 let li = cells[i as usize].load(RELAXED);
@@ -40,6 +46,8 @@ pub fn components(g: &Graph) -> Vec<VertexId> {
             // Shortcut: pointer-jump labels toward roots.
             loop {
                 let jumped = AtomicBool::new(false);
+                // ORDERING: RELAXED — same monotone argument as the hook
+                // pass above; the join barrier separates jump rounds.
                 (0..nv).into_par_iter().for_each(|v| {
                     let l = cells[v].load(RELAXED);
                     let ll = cells[l as usize].load(RELAXED);
@@ -48,6 +56,7 @@ pub fn components(g: &Graph) -> Vec<VertexId> {
                         jumped.store(true, RELAXED);
                     }
                 });
+                // ORDERING: RELAXED — flag read after the join barrier.
                 if !jumped.load(RELAXED) {
                     break;
                 }
@@ -91,6 +100,7 @@ pub fn largest_component_label(label: &[VertexId]) -> (VertexId, usize) {
         .into_iter()
         .max_by_key(|&(l, s)| (s, std::cmp::Reverse(l)))
         .map(|(l, s)| (l, s))
+        // analyze: allow(panic, reason = "documented contract: calling this on an empty labelling is a caller bug")
         .expect("empty graph has no components")
 }
 

@@ -37,6 +37,8 @@ impl Csr {
         let counts: Vec<AtomicUsize> = (0..nv).map(|_| AtomicUsize::new(0)).collect();
         (0..ne).into_par_iter().for_each(|e| {
             let (i, j, _) = g.edge(e);
+            // ORDERING: RELAXED — degree counters, atomicity only; the
+            // join barrier orders the into_inner() reads after it.
             counts[i as usize].fetch_add(1, RELAXED);
             counts[j as usize].fetch_add(1, RELAXED);
         });
@@ -52,6 +54,9 @@ impl Csr {
             let adj_c = pcd_util::sync::as_atomic_u32(&mut adj);
             let wgt_c = pcd_util::sync::as_atomic_u64(&mut wgt);
             (0..ne).into_par_iter().for_each(|e| {
+                // ORDERING: RELAXED — each fetch_add claims a distinct slot
+                // in vertex i/j's extent, so every store has one writer;
+                // the join barrier publishes adj/wgt to the sort below.
                 let (i, j, w) = g.edge(e);
                 let pi = cursor[i as usize].fetch_add(1, RELAXED);
                 adj_c[pi].store(j, RELAXED);

@@ -35,6 +35,8 @@ pub fn extract_communities(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityS
         use pcd_util::sync::{AtomicUsize, RELAXED};
         let c: Vec<AtomicUsize> = (0..k).map(|_| AtomicUsize::new(0)).collect();
         assignment.par_iter().for_each(|&a| {
+            // ORDERING: RELAXED — counter increment, atomicity only; the
+            // join barrier orders the into_inner() reads after it.
             c[a as usize].fetch_add(1, RELAXED);
         });
         c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()

@@ -276,6 +276,8 @@ impl Graph {
             let cells = pcd_util::sync::as_atomic_u64(vol);
             (0..self.num_edges()).into_par_iter().for_each(|e| {
                 let (i, j, w) = self.edge(e);
+                // ORDERING: RELAXED — volume accumulation, atomicity only;
+                // the join barrier publishes the folded totals.
                 cells[i as usize].fetch_add(w, RELAXED);
                 cells[j as usize].fetch_add(w, RELAXED);
             });
@@ -375,6 +377,8 @@ impl Graph {
 pub(crate) fn atomic_histogram(n: usize, keys: &[VertexId]) -> Vec<usize> {
     let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     keys.par_iter().for_each(|&k| {
+        // ORDERING: RELAXED — histogram increment, atomicity only; the
+        // join barrier orders the into_inner() reads after it.
         counts[k as usize].fetch_add(1, RELAXED);
     });
     counts

@@ -39,6 +39,8 @@ pub fn count_triangles(csr: &Csr) -> TriangleCounts {
                     }
                     for w in intersect_above(csr, v, u) {
                         found += 1;
+                        // ORDERING: RELAXED — per-vertex triangle counters
+                        // are pure accumulations; the join publishes them.
                         cells[v as usize].fetch_add(1, RELAXED);
                         cells[u as usize].fetch_add(1, RELAXED);
                         cells[w as usize].fetch_add(1, RELAXED);

@@ -232,6 +232,11 @@ pub fn match_unmatched_list_scratch(
                 .par_iter_mut()
                 .zip(list.par_iter())
                 .for_each(|(slot, &u)| {
+                    // ORDERING: ACQUIRE loads pair with the CAS releases in
+                    // `propose`, so a register read here also sees the
+                    // proposal it names; the mate stores are RELAXED
+                    // because both endpoints write identical values and
+                    // the join barrier publishes them.
                     let e = best[u as usize].load(ACQUIRE);
                     if e == EMPTY {
                         return;
@@ -251,6 +256,7 @@ pub fn match_unmatched_list_scratch(
         // Appending in slot (= list) order reproduces the order a
         // filter_map collect over the list would have produced.
         let before = matched_edges.len();
+        // analyze: allow(alloc, reason = "append into a caller-reserved buffer; the reserve above set the round ceiling")
         matched_edges.extend(
             pair_edge
                 .iter()
@@ -281,6 +287,9 @@ pub fn match_unmatched_list_scratch(
             proposals.par_iter().for_each(|&e| {
                 if e != EMPTY {
                     let (i, j, _) = g.edge(e as usize);
+                    // ORDERING: RELAXED — racing EMPTY stores all write the
+                    // same value; the round's join barrier orders them
+                    // before the next round's proposals.
                     best[i as usize].store(EMPTY, RELAXED);
                     best[j as usize].store(EMPTY, RELAXED);
                 }
@@ -328,6 +337,7 @@ fn complete_sequential(
     candidates: &mut Vec<usize>,
 ) {
     candidates.clear();
+    // analyze: allow(alloc, reason = "watchdog's sequential fallback: correctness path, allocation is acceptable")
     candidates.extend((0..g.num_edges()).filter(|&e| {
         let (i, j, _) = g.edge(e);
         scores[e] > 0.0 && mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX
@@ -343,6 +353,7 @@ fn complete_sequential(
         if mate[i as usize] == NO_VERTEX && mate[j as usize] == NO_VERTEX {
             mate[i as usize] = j;
             mate[j as usize] = i;
+            // analyze: allow(alloc, reason = "watchdog's sequential fallback: correctness path, allocation is acceptable")
             matched_edges.push(e);
         }
     }
@@ -364,6 +375,7 @@ pub fn unmatched_count(m: &Matching) -> usize {
     let c = AtomicUsize::new(0);
     m.mates().par_iter().for_each(|&x| {
         if x == NO_VERTEX {
+            // ORDERING: RELAXED — diagnostic counter, atomicity only.
             c.fetch_add(1, RELAXED);
         }
     });

@@ -30,6 +30,9 @@ pub fn community_conductances(g: &Graph, assignment: &[VertexId]) -> Vec<f64> {
     {
         let cut_c = as_atomic_u64(&mut cut);
         let vol_c = as_atomic_u64(&mut vol);
+        // ORDERING: RELAXED for every fetch_add in both loops — cut/vol
+        // are pure accumulation histograms (atomicity only); the join
+        // barriers publish the totals to the sequential reads below.
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {
@@ -89,6 +92,8 @@ pub fn conductance_stats(g: &Graph, assignment: &[VertexId]) -> ConductanceStats
     let mut vol = vec![0u64; k];
     {
         let vol_c = as_atomic_u64(&mut vol);
+        // ORDERING: RELAXED — volume accumulation, atomicity only; the
+        // join barriers publish the totals to the filter below.
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let s = g.self_loop(v as u32);
             if s > 0 {

@@ -31,6 +31,9 @@ pub fn modularity(g: &Graph, assignment: &[VertexId]) -> f64 {
     {
         let in_c = as_atomic_u64(&mut internal);
         let vol_c = as_atomic_u64(&mut volume);
+        // ORDERING: RELAXED for every fetch_add in both loops — internal/
+        // volume are pure accumulation histograms (atomicity only); the
+        // join barriers publish the totals to the Q fold below.
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let c = assignment[v] as usize;
             let s = g.self_loop(v as u32);

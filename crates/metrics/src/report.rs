@@ -44,6 +44,9 @@ pub fn community_reports(g: &Graph, assignment: &[VertexId]) -> Vec<CommunityRep
         let size_c = as_atomic_u64(&mut size);
         let int_c = as_atomic_u64(&mut internal);
         let cut_c = as_atomic_u64(&mut cut);
+        // ORDERING: RELAXED for every fetch_add in both loops — size/
+        // internal/cut are pure accumulation histograms (atomicity only);
+        // the join barriers publish the totals to the report assembly.
         (0..g.num_vertices()).into_par_iter().for_each(|v| {
             let c = assignment[v] as usize;
             size_c[c].fetch_add(1, RELAXED);

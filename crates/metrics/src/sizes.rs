@@ -17,6 +17,8 @@ pub fn community_sizes(assignment: &[VertexId]) -> Vec<usize> {
     {
         let cells = as_atomic_u64(&mut sizes);
         assignment.par_iter().for_each(|&c| {
+            // ORDERING: RELAXED — histogram increment, atomicity only;
+            // the join barrier publishes the counts.
             cells[c as usize].fetch_add(1, RELAXED);
         });
     }
@@ -51,7 +53,9 @@ impl SizeStats {
         }
         SizeStats {
             num_communities: nonempty.len(),
+            // analyze: allow(panic, reason = "the empty case early-returned above, so `nonempty` has entries")
             min: *nonempty.iter().min().unwrap(),
+            // analyze: allow(panic, reason = "same non-empty argument as `min` on the previous line")
             max: *nonempty.iter().max().unwrap(),
             mean: nonempty.iter().sum::<usize>() as f64 / nonempty.len() as f64,
         }

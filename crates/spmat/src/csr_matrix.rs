@@ -41,6 +41,7 @@ impl CsrMatrix {
         let mut prev: Option<(u32, u32)> = None;
         for &(r, c, v) in &triplets {
             if prev == Some((r, c)) {
+                // analyze: allow(panic, reason = "prev == Some means a value was pushed on an earlier iteration")
                 *values.last_mut().expect("run has a head") += v;
             } else {
                 indptr_counts[r as usize] += 1;
@@ -116,6 +117,8 @@ impl CsrMatrix {
         let counts = {
             let c: Vec<AtomicUsize> = (0..self.cols).map(|_| AtomicUsize::new(0)).collect();
             self.indices.par_iter().for_each(|&j| {
+                // ORDERING: RELAXED — column-count histogram, atomicity
+                // only; the join barrier orders the into_inner() reads.
                 c[j as usize].fetch_add(1, RELAXED);
             });
             c.into_iter().map(|x| x.into_inner()).collect::<Vec<_>>()
@@ -132,6 +135,9 @@ impl CsrMatrix {
             let val = pcd_util::sync::as_atomic_u64(&mut values);
             (0..self.rows).into_par_iter().for_each(|r| {
                 for (c, v) in self.row(r) {
+                    // ORDERING: RELAXED — fetch_add claims a distinct slot
+                    // in column c's extent, so each store has one writer;
+                    // the join barrier publishes before the row sort.
                     let pos = cursor[c as usize].fetch_add(1, RELAXED);
                     idx[pos].store(r as u32, RELAXED);
                     val[pos].store(v, RELAXED);
@@ -220,6 +226,7 @@ impl CsrMatrix {
         if self.indptr.len() != self.rows + 1 {
             return Err("indptr length mismatch".into());
         }
+        // analyze: allow(panic, reason = "indptr.len() == rows + 1 >= 1 was checked on the line above")
         if self.indptr[0] != 0 || *self.indptr.last().unwrap() != self.nnz() {
             return Err("indptr endpoints wrong".into());
         }

@@ -31,6 +31,9 @@ static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 
 fn record_alloc(size: usize) {
+    // ORDERING: RELAXED — statistics counters on the global-allocator
+    // path: atomicity only, no synchronization rides on them, and any
+    // stronger ordering would tax every allocation in the process.
     ALLOCATIONS.fetch_add(1, RELAXED);
     BYTES_ALLOCATED.fetch_add(size as u64, RELAXED);
     let live = LIVE_BYTES.fetch_add(size as u64, RELAXED) + size as u64;
@@ -40,6 +43,8 @@ fn record_alloc(size: usize) {
 }
 
 fn record_dealloc(size: usize) {
+    // ORDERING: RELAXED — same statistics-counter argument as
+    // record_alloc above.
     DEALLOCATIONS.fetch_add(1, RELAXED);
     LIVE_BYTES.fetch_sub(size as u64, RELAXED);
 }
@@ -106,6 +111,9 @@ pub struct AllocSnapshot {
 /// [`CountingAlloc`] as its global allocator.
 pub fn snapshot() -> AllocSnapshot {
     AllocSnapshot {
+        // ORDERING: RELAXED — the snapshot is advisory; fields are read
+        // independently and callers quiesce the system (or accept a
+        // transient view) before comparing snapshots.
         allocations: ALLOCATIONS.load(RELAXED),
         deallocations: DEALLOCATIONS.load(RELAXED),
         bytes_allocated: BYTES_ALLOCATED.load(RELAXED),

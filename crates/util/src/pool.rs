@@ -8,6 +8,8 @@ use crate::sync::{AtomicU32, RELAXED};
 static NEXT_THREAD_ORDINAL: AtomicU32 = AtomicU32::new(0);
 
 thread_local! {
+    // ORDERING: RELAXED — the fetch_add only needs a unique ordinal per
+    // thread (atomicity); nothing is published through the counter.
     static THREAD_ORDINAL: u32 = NEXT_THREAD_ORDINAL.fetch_add(1, RELAXED);
 }
 
@@ -28,6 +30,7 @@ pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T 
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
+        // analyze: allow(panic, reason = "pool construction fails only on OS thread-spawn failure; die loudly")
         .expect("failed to build rayon pool");
     pool.install(f)
 }

@@ -81,17 +81,20 @@ pub struct RunStats {
 impl RunStats {
     /// Builds stats from raw samples (sorts them).
     pub fn new(mut samples: Vec<f64>) -> Self {
+        // analyze: allow(panic, reason = "bench-harness stats: a NaN timing sample is a bug worth dying on")
         samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         RunStats { samples }
     }
 
     /// Smallest sample.
     pub fn min(&self) -> f64 {
+        // analyze: allow(panic, reason = "documented contract: stats over zero samples are a caller bug")
         *self.samples.first().expect("empty RunStats")
     }
 
     /// Largest sample.
     pub fn max(&self) -> f64 {
+        // analyze: allow(panic, reason = "documented contract: stats over zero samples are a caller bug")
         *self.samples.last().expect("empty RunStats")
     }
 

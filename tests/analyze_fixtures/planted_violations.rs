@@ -1,0 +1,27 @@
+//! Analyzer fixture: planted violations surrounded by decoys.
+//!
+//! The decoy strings and comments mirror `tricky_clean.rs`; the point is
+//! that the analyzer still sees the REAL violations between them. The
+//! self-test `fixtures_planted_violations_are_seen` in
+//! `xtask/src/analyze/mod.rs` analyzes this file under a library-crate
+//! path and asserts exactly these findings:
+//!
+//! - one `panic` violation (the `.unwrap()` in `planted_unwrap`)
+//! - one `ordering` violation (the `fetch_add` without a rationale)
+//!
+//! Never compiled by cargo; it only needs to lex.
+
+/// Decoy: ".unwrap()" in a string right above a real one.
+pub fn planted_unwrap(x: Option<u32>) -> u32 {
+    let _decoy = "x.unwrap() is fine in here";
+    x.unwrap()
+}
+
+/* Decoy comment: counter.fetch_add(1, Ordering::SeqCst) */
+pub fn planted_unjustified_atomic(c: &Counter) {
+    c.inner.fetch_add(1, RELAXED);
+}
+
+pub struct Counter {
+    inner: AtomicU64,
+}

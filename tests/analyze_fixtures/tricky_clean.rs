@@ -1,0 +1,40 @@
+//! Analyzer fixture: constructs that MUST NOT trip any rule.
+//!
+//! Every line here is bait for a substring scanner — banned phrases
+//! inside strings, raw strings, nested block comments, and char/lifetime
+//! ambiguities. The lexer-backed analyzer must report zero violations
+//! for this file (asserted by `fixtures_tricky_clean_is_quiet` in
+//! `xtask/src/analyze/mod.rs`). This file is never compiled by cargo
+//! (subdirectories of `tests/` are not test targets); it only needs to
+//! lex.
+
+/// A doc comment mentioning `.unwrap()` and `panic!` is not a call.
+pub fn strings_are_not_calls() -> String {
+    let a = "x.unwrap() and y.expect(\"boom\") and panic!(\"no\")";
+    let b = r#"raw: mate.unwrap(); todo!(); std::sync::atomic::AtomicUsize"#;
+    let c = r##"raw with guards: "Ordering::SeqCst" and vec![0; 9]"##;
+    format_args!("{a}{b}{c}").to_string()
+}
+
+/* Outer block comment.
+   /* Nested block comment containing atomics:
+      counter.fetch_add(1, Ordering::SeqCst);
+      cell.compare_exchange(0, 1, ACQUIRE, RELAXED);
+   */
+   Still inside the outer comment: x.unwrap(); unsafe { }
+*/
+pub fn chars_and_lifetimes<'a>(s: &'a str) -> (&'a str, char, char, char) {
+    let quote = '"';
+    let escape = '\'';
+    let emoji = '\u{1F600}';
+    // Ranges and method calls on numbers must not confuse the lexer.
+    let _dots: Vec<usize> = (0..10).collect();
+    let _m = 1.max(2);
+    (s, quote, escape, emoji)
+}
+
+/// `swap` on a slice is not an atomic operation (no ordering constant).
+pub fn slice_swap_is_not_atomic(v: &mut [u32]) {
+    v.swap(0, 1);
+    let _s = "unsafe unsafe unsafe"; // idents in strings don't count
+}

@@ -1,0 +1,56 @@
+//! Rule `atomics` (ported): no bare std atomics outside the sync shim.
+//!
+//! All atomic types and memory orderings must come from
+//! `pcd_util::sync`, the one audited (and loom-switchable) definition
+//! site. Outside the shim, source may not name the `std::sync::atomic` /
+//! `core::sync::atomic` modules or any raw `Ordering::<Variant>` path.
+//! `std::cmp::Ordering` variants (`Less`/`Equal`/`Greater`) are
+//! unaffected because only the five memory-ordering variant names are
+//! banned.
+//!
+//! Matching is over identifier tokens joined by `::`, so comments,
+//! doc examples, and string literals can never trip the rule — the
+//! original substring scanner had to strip line comments and assemble
+//! its own patterns with `concat!` to avoid matching itself; none of
+//! that is needed here.
+
+use crate::analyze::{FileCtx, Violation};
+
+/// The one file allowed to name std/loom atomics and raw orderings.
+pub(crate) const SHIM: &str = "crates/util/src/sync.rs";
+
+const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub(crate) fn check(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if ctx.rel == SHIM {
+        return;
+    }
+    for &i in ctx.code {
+        if ctx.is_path_seq(i, &["std", "sync", "atomic"])
+            || ctx.is_path_seq(i, &["core", "sync", "atomic"])
+        {
+            out.push(Violation {
+                file: ctx.rel.to_string(),
+                line: ctx.line(i),
+                rule: "atomics",
+                msg: format!(
+                    "bare `{}::sync::atomic` — import from pcd_util::sync instead",
+                    ctx.text(i)
+                ),
+            });
+        }
+        for v in ORDERING_VARIANTS {
+            if ctx.is_path_seq(i, &["Ordering", v]) {
+                out.push(Violation {
+                    file: ctx.rel.to_string(),
+                    line: ctx.line(i),
+                    rule: "atomics",
+                    msg: format!(
+                        "raw `Ordering::{v}` — use the documented RELAXED/ACQUIRE/ACQ_REL \
+                         constants from pcd_util::sync"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 /// Wide because CI runners are noisy; tighten with `--threshold`.
 const DEFAULT_THRESHOLD: f64 = 1.15;
 
-pub fn run(args: &[String]) -> ExitCode {
+pub(crate) fn run(args: &[String]) -> ExitCode {
     let mut smoke = false;
     let mut skip_run = false;
     let mut alloc_stats = false;
@@ -289,7 +289,7 @@ fn previous_report(root: &Path, out_path: &Path) -> Option<PathBuf> {
 
 /// The fields of one result cell the gate actually compares.
 #[derive(Debug, PartialEq)]
-pub struct Cell {
+pub(crate) struct Cell {
     pub instance: String,
     pub threads: u64,
     pub arm: String,
@@ -310,14 +310,14 @@ impl Cell {
 }
 
 /// Reads, parses, and schema-checks a report; returns its result cells.
-pub fn load_report(path: &Path) -> Result<Vec<Cell>, String> {
+pub(crate) fn load_report(path: &Path) -> Result<Vec<Cell>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let json = parse_json(&text)?;
     validate_report(&json)
 }
 
 /// Validates the `parcomm-bench-v1` shape and extracts the cells.
-pub fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
+pub(crate) fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
     let top = json.as_obj().ok_or("top level must be an object")?;
     let schema = get(top, "schema")?
         .as_str()
@@ -470,7 +470,7 @@ pub(crate) fn o_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, PartialEq)]
-pub enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -480,25 +480,25 @@ pub enum Json {
 }
 
 impl Json {
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+    pub(crate) fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(o) => Some(o),
             _ => None,
         }
     }
-    pub fn as_arr(&self) -> Option<&[Json]> {
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),
             _ => None,
         }
     }
-    pub fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
-    pub fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -506,7 +506,7 @@ impl Json {
     }
 }
 
-pub fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;

@@ -1,5 +1,20 @@
 //! Repo automation tasks. Run via `cargo xtask <command>`.
 //!
+//! # `analyze` — lexer-backed static analysis gate
+//!
+//! Multi-pass analyzer over a real Rust token stream: hot-path
+//! allocation lint, panic-freedom lint, atomic-ordering discipline,
+//! public-API snapshot (`API.lock`, regenerated with `--bless`), plus
+//! the three rules ported from the original substring-based linter
+//! (sync-shim ban, unsafe budgets, kernel dispatch fence). See
+//! `analyze/mod.rs` for the rule catalog and waiver grammar, and
+//! DESIGN.md §14 for the discipline.
+//!
+//! # `lint` — alias for `analyze`
+//!
+//! Kept so existing muscle memory, docs, and CI invocations of
+//! `cargo xtask lint` keep working; it runs the full analyzer.
+//!
 //! # `bench` — JSON benchmark gate
 //!
 //! Runs the `bench_gate` harness on pinned instances, validates the
@@ -12,124 +27,26 @@
 //! Validates `parcomm-metrics-v1` / `parcomm-trace-v1` documents written
 //! by `parcomm detect --metrics/--trace` and `bench_gate --metrics-out`.
 //! See `metrics.rs`.
-//!
-//! # `lint` — atomics-discipline and unsafe-budget gate
-//!
-//! Enforces the concurrency audit policy documented in
-//! `crates/util/src/sync.rs` and DESIGN.md §9:
-//!
-//! 1. **No bare std atomics.** Outside the sync shim, source may not name
-//!    `std::sync::atomic` / `core::sync::atomic` or any of the five atomic
-//!    memory-ordering variants (`Ordering::Relaxed`, `Ordering::Acquire`,
-//!    `Ordering::Release`, `Ordering::AcqRel`, `Ordering::SeqCst`). Kernels
-//!    import atomic types and the documented `RELAXED` / `ACQUIRE` /
-//!    `ACQ_REL` constants from `pcd_util::sync` instead, so every ordering
-//!    choice traces back to one audited definition site (and so the whole
-//!    workspace can be model-checked by swapping in loom types at that one
-//!    site). `std::cmp::Ordering` variants (`Less`, `Equal`, `Greater`)
-//!    are unaffected.
-//!
-//! 2. **Unsafe budget.** The `unsafe` keyword may appear only in the files
-//!    allowlisted below, and at most as many times as currently audited.
-//!    Growing a budget requires editing this file — which is the point: a
-//!    new unsafe block must come past review with a `// SAFETY:` comment.
-//!
-//! 3. **Kernel dispatch discipline.** The detection drivers
-//!    (`crates/core/src/driver.rs`, `crates/core/src/multilevel.rs`) may
-//!    not call concrete kernel functions or name the concrete kernel
-//!    modules of `pcd-matching`/`pcd-contract` — all score/match/contract
-//!    work must dispatch through the `pcd_core::kernel` trait layer, so a
-//!    backend swap is one registry entry, never a driver edit. The trait
-//!    impls under `crates/core/src/kernel/` are the one sanctioned wrapper
-//!    site and are exempt.
-//!
-//! Line comments are stripped before matching, so prose (including
-//! `// SAFETY:` comments and these docs' own examples) never trips the
-//! gate. The banned spellings in this source are assembled with `concat!`
-//! for the same reason. The `unsafe` count skips `xtask/` itself — its
-//! fixture strings mention the keyword — because this crate is held to the
-//! stronger compiler-checked `forbid(unsafe_code)` below.
 
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod bench;
 mod metrics;
 
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Directories scanned for Rust sources, relative to the repo root.
-const SCAN_DIRS: &[&str] = &["crates", "src", "tests", "examples", "xtask", "tools"];
-
-/// The one file allowed to name std/loom atomics and raw orderings.
-const SHIM: &str = "crates/util/src/sync.rs";
-
-/// Files allowed to contain the `unsafe` keyword, with the audited number
-/// of occurrences. Every site carries a `// SAFETY:` comment; see the
-/// files themselves.
-/// Driver files fenced off from concrete kernels: they must dispatch
-/// through the `pcd_core::kernel` trait layer. (These patterns are plain
-/// literals — unlike the atomics rule they apply only to the files below,
-/// so this source naming them is harmless.)
-const KERNEL_CALLERS: &[&str] = &["crates/core/src/driver.rs", "crates/core/src/multilevel.rs"];
-
-/// Concrete kernel entry points (whole-identifier match).
-const CONCRETE_KERNEL_FNS: &[&str] = &[
-    "score_edge",
-    "score_all_into",
-    "match_unmatched_list",
-    "match_unmatched_list_scratch",
-    "match_edge_sweep",
-    "match_edge_sweep_stats",
-    "match_sequential_greedy",
-    "contract_into",
-    "contract_with_policy",
-    "contract_linked",
-    "contract_seq",
-];
-
-/// Concrete kernel module paths (substring match).
-const CONCRETE_KERNEL_PATHS: &[&str] = &[
-    "pcd_matching::parallel",
-    "pcd_matching::edge_sweep",
-    "pcd_matching::seq",
-    "pcd_contract::bucket",
-    "pcd_contract::linked",
-    "pcd_contract::seq",
-];
-
-const UNSAFE_BUDGET: &[(&str, usize)] = &[
-    ("crates/contract/src/bucket.rs", 1),
-    ("crates/graph/src/csr.rs", 3),
-    ("crates/graph/src/reorder.rs", 3),
-    ("crates/spmat/src/csr_matrix.rs", 3),
-    ("crates/util/src/alloc_stats.rs", 9),
-    ("crates/util/src/scan.rs", 1),
-    ("crates/util/src/sync.rs", 5),
-];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let root = repo_root();
-            let violations = lint_tree(&root);
-            if violations.is_empty() {
-                println!("xtask lint: clean");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("xtask lint: {} violation(s)", violations.len());
-                for v in &violations {
-                    eprintln!("  {v}");
-                }
-                ExitCode::FAILURE
-            }
-        }
+        Some("analyze") | Some("lint") => analyze::run(&args[1..]),
         Some("bench") => bench::run(&args[1..]),
         Some("metrics") => metrics::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|bench|metrics>");
+            eprintln!("usage: cargo xtask <analyze|lint|bench|metrics>");
+            eprintln!("  analyze [--bless]   run all static-analysis passes");
+            eprintln!("  lint                alias for analyze");
             ExitCode::FAILURE
         }
     }
@@ -144,298 +61,4 @@ pub(crate) fn repo_root() -> PathBuf {
         }
     }
     PathBuf::from(".")
-}
-
-/// Lints every Rust source under `root`'s scan directories. Returns
-/// human-readable violation strings; empty means clean.
-fn lint_tree(root: &Path) -> Vec<String> {
-    let mut files = Vec::new();
-    for dir in SCAN_DIRS {
-        collect_rs_files(&root.join(dir), &mut files);
-    }
-    files.sort();
-    let mut violations = Vec::new();
-    for file in &files {
-        let Ok(content) = std::fs::read_to_string(file) else {
-            violations.push(format!("{}: unreadable", file.display()));
-            continue;
-        };
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        lint_file(&rel, &content, &mut violations);
-    }
-    violations
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            // Skip build output inside scanned trees (tools/loom/target).
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Checks one file's content, appending violations. `rel` is the
-/// repo-relative path with forward slashes.
-fn lint_file(rel: &str, content: &str, violations: &mut Vec<String>) {
-    // Assembled so this source never matches its own patterns.
-    let std_atomic: String = concat!("std::sync::", "atomic").into();
-    let core_atomic: String = concat!("core::sync::", "atomic").into();
-    let ordering_variants: Vec<String> = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
-        .iter()
-        .map(|v| {
-            let mut s = String::from("Ordering");
-            let _ = write!(s, "::{v}");
-            s
-        })
-        .collect();
-
-    let is_shim = rel == SHIM || rel.ends_with(&format!("/{SHIM}"));
-    let is_kernel_caller = KERNEL_CALLERS
-        .iter()
-        .any(|p| rel == *p || rel.ends_with(&format!("/{p}")));
-    let mut unsafe_count = 0usize;
-
-    for (lineno, raw) in content.lines().enumerate() {
-        let line = strip_line_comment(raw);
-        if is_kernel_caller {
-            for pat in CONCRETE_KERNEL_FNS {
-                if count_word(line, pat) > 0 {
-                    violations.push(format!(
-                        "{rel}:{}: direct concrete-kernel call `{pat}` — dispatch through the \
-                         pcd_core::kernel trait layer",
-                        lineno + 1
-                    ));
-                }
-            }
-            for pat in CONCRETE_KERNEL_PATHS {
-                if line.contains(pat) {
-                    violations.push(format!(
-                        "{rel}:{}: concrete kernel module `{pat}` — drivers use the \
-                         pcd_core::kernel trait layer",
-                        lineno + 1
-                    ));
-                }
-            }
-        }
-        if !is_shim {
-            for pat in [&std_atomic, &core_atomic] {
-                if line.contains(pat.as_str()) {
-                    violations.push(format!(
-                        "{rel}:{}: bare `{pat}` — import from pcd_util::sync instead",
-                        lineno + 1
-                    ));
-                }
-            }
-            for pat in &ordering_variants {
-                if line.contains(pat.as_str()) {
-                    violations.push(format!(
-                        "{rel}:{}: raw `{pat}` — use the documented RELAXED/ACQUIRE/ACQ_REL \
-                         constants from pcd_util::sync",
-                        lineno + 1
-                    ));
-                }
-            }
-        }
-        unsafe_count += count_word(line, "unsafe");
-    }
-
-    // xtask is compiler-checked via `forbid(unsafe_code)`; its strings may
-    // mention the keyword freely.
-    if rel.starts_with("xtask/") {
-        return;
-    }
-    let budget = UNSAFE_BUDGET
-        .iter()
-        .find(|(p, _)| rel == *p || rel.ends_with(&format!("/{p}")))
-        .map_or(0, |(_, n)| *n);
-    if unsafe_count > budget {
-        violations.push(format!(
-            "{rel}: {unsafe_count} `unsafe` occurrence(s), budget {budget} — new unsafe code \
-             needs a SAFETY comment and an xtask allowlist update"
-        ));
-    }
-}
-
-/// Strips a trailing `//` line comment (naive: does not track string
-/// literals, which is fine for this repo's style and keeps the linter
-/// dependency-free).
-fn strip_line_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(idx) => &line[..idx],
-        None => line,
-    }
-}
-
-/// Occurrences of `word` in `haystack` as a whole identifier (not as a
-/// substring of a longer identifier like `unsafe_op_in_unsafe_fn`).
-fn count_word(haystack: &str, word: &str) -> usize {
-    let bytes = haystack.as_bytes();
-    let mut count = 0;
-    let mut start = 0;
-    while let Some(pos) = haystack[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let after = at + word.len();
-        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
-        if before_ok && after_ok {
-            count += 1;
-        }
-        start = at + word.len();
-    }
-    count
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint_str(rel: &str, content: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        lint_file(rel, content, &mut v);
-        v
-    }
-
-    #[test]
-    fn real_tree_is_clean() {
-        let root = repo_root();
-        assert!(
-            root.join(SHIM).exists(),
-            "repo root misdetected: {}",
-            root.display()
-        );
-        let violations = lint_tree(&root);
-        assert!(violations.is_empty(), "violations: {violations:#?}");
-    }
-
-    #[test]
-    fn trace_crate_is_in_lint_scope() {
-        // The observability crate is covered by the same gates as the
-        // kernels: its sources are collected by the scan, and a planted
-        // violation under its path trips the atomics rule.
-        let root = repo_root();
-        let mut files = Vec::new();
-        collect_rs_files(&root.join("crates"), &mut files);
-        assert!(
-            files
-                .iter()
-                .any(|f| f.ends_with(Path::new("trace/src/registry.rs"))),
-            "crates/trace sources not scanned"
-        );
-        let bad = format!("use std::sync::{}::AtomicU64;\n", "atomic");
-        let v = lint_str("crates/trace/src/fake.rs", &bad);
-        assert_eq!(v.len(), 1, "{v:#?}");
-    }
-
-    #[test]
-    fn planted_relaxed_ordering_fails() {
-        let bad = format!(
-            "use std::sync::{}::AtomicU64;\nfn f(c: &AtomicU64) {{ c.load({}::{}); }}\n",
-            "atomic", "Ordering", "Relaxed"
-        );
-        let v = lint_str("crates/graph/src/fake.rs", &bad);
-        assert_eq!(v.len(), 2, "{v:#?}");
-        assert!(v[0].contains("bare"), "{v:#?}");
-        assert!(v[1].contains("raw"), "{v:#?}");
-    }
-
-    #[test]
-    fn shim_may_name_std_atomics() {
-        let shim_like = format!("pub use std::sync::{}::AtomicU64;\n", "atomic");
-        assert!(lint_str(SHIM, &shim_like).is_empty());
-    }
-
-    #[test]
-    fn cmp_ordering_variants_are_fine() {
-        let ok = "use std::cmp::Ordering;\nfn f() -> Ordering { Ordering::Equal }\n";
-        assert!(lint_str("crates/baseline/src/fake.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn comments_do_not_trip_the_gate() {
-        let ok = format!("// mentions {}::{} in prose only\n", "Ordering", "SeqCst");
-        assert!(lint_str("crates/core/src/fake.rs", &ok).is_empty());
-    }
-
-    #[test]
-    fn unsafe_outside_budget_fails() {
-        let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
-        let v = lint_str("crates/core/src/fake.rs", bad);
-        assert_eq!(v.len(), 1, "{v:#?}");
-        assert!(v[0].contains("budget 0"), "{v:#?}");
-    }
-
-    #[test]
-    fn unsafe_within_budget_passes() {
-        let ok = "unsafe fn g() {}\nfn f() { unsafe { g() } }\n";
-        assert!(lint_str("crates/graph/src/csr.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn deny_attribute_not_counted_as_unsafe() {
-        let ok = "#![deny(unsafe_op_in_unsafe_fn)]\n";
-        assert!(lint_str("crates/core/src/fake.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn planted_concrete_kernel_call_in_driver_fails() {
-        let bad =
-            "use pcd_matching::parallel;\nfn f() { parallel::match_unmatched_list_scratch(); }\n";
-        let v = lint_str("crates/core/src/driver.rs", bad);
-        assert_eq!(v.len(), 2, "{v:#?}");
-        assert!(v[0].contains("pcd_matching::parallel"), "{v:#?}");
-        assert!(v[1].contains("match_unmatched_list_scratch"), "{v:#?}");
-    }
-
-    #[test]
-    fn planted_concrete_contractor_in_multilevel_fails() {
-        let bad = "fn f() { let _ = pcd_contract::bucket::contract_into(); }\n";
-        let v = lint_str("crates/core/src/multilevel.rs", bad);
-        assert_eq!(v.len(), 2, "{v:#?}");
-        assert!(v.iter().all(|m| m.contains("trait layer")), "{v:#?}");
-    }
-
-    #[test]
-    fn kernel_wrappers_may_call_concrete_kernels() {
-        // The trait-impl modules are the sanctioned wrapper site; the same
-        // spellings that fail in the drivers pass there (and anywhere else).
-        let ok =
-            "use pcd_matching::parallel;\nfn f() { parallel::match_unmatched_list_scratch(); }\n";
-        assert!(lint_str("crates/core/src/kernel/matchers.rs", ok).is_empty());
-        assert!(lint_str("crates/bench/benches/graphops.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn kernel_rule_is_boundary_and_comment_aware() {
-        // `contract_secs` must not trip the `contract_seq` identifier ban,
-        // and commented mentions are stripped before matching.
-        let ok = "fn f(l: &LevelStats) -> f64 { l.contract_secs } // contract_seq in prose\n";
-        assert!(lint_str("crates/core/src/driver.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn word_counting_is_boundary_aware() {
-        assert_eq!(
-            count_word("unsafe unsafe_fn not_unsafe unsafe", "unsafe"),
-            2
-        );
-        assert_eq!(count_word("", "unsafe"), 0);
-    }
 }

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 
 use crate::bench::{get, o_num, o_str, parse_json, Json};
 
-pub fn run(args: &[String]) -> ExitCode {
+pub(crate) fn run(args: &[String]) -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: cargo xtask metrics FILE...");
         eprintln!("  validates parcomm-metrics-v1 / parcomm-trace-v1 documents");
@@ -40,13 +40,13 @@ pub fn run(args: &[String]) -> ExitCode {
 }
 
 /// Reads, parses, and schema-checks one export; returns a one-line summary.
-pub fn validate_file(path: &Path) -> Result<String, String> {
+pub(crate) fn validate_file(path: &Path) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     validate_doc(&parse_json(&text)?)
 }
 
 /// Dispatches on the document's `"schema"` field.
-pub fn validate_doc(json: &Json) -> Result<String, String> {
+pub(crate) fn validate_doc(json: &Json) -> Result<String, String> {
     let top = json.as_obj().ok_or("top level must be an object")?;
     let schema = get(top, "schema")?
         .as_str()
