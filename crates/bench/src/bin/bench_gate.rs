@@ -1,7 +1,7 @@
 //! JSON benchmark gate for the zero-allocation level loop.
 //!
 //! Runs end-to-end detection on pinned R-MAT and SBM instances across a
-//! set of thread counts, with four level-loop arms — scratch **reuse**
+//! set of thread counts, with five level-loop arms — scratch **reuse**
 //! (the default, retained arenas + graph ping-pong), **fresh** (the
 //! ablation that rebuilds every buffer each level), **observed**
 //! (reuse plus a full `pcd-trace` recorder attached, gating the
@@ -9,7 +9,10 @@
 //! arm), and **budgeted-unarmed** (reuse plus an armed but non-binding
 //! [`Budget`] — hour-long deadline, `usize::MAX` caps, a live cancel
 //! token nobody cancels — gating the budget sentinel's phase-boundary
-//! checks the same way) — and writes a single machine-readable JSON report. A batched section measures the engine's
+//! checks the same way), plus **contract-radix** (reuse with the
+//! radix-sort contraction kernel, whose contract-phase seconds `cargo
+//! xtask bench --min-contract-speedup` gates against the reuse arm's) —
+//! and writes a single machine-readable JSON report. A batched section measures the engine's
 //! `detect_many` entry point (**batch-warm**: one long-lived [`Detector`]
 //! per rayon worker, arenas stay warm across graphs) against a fresh
 //! engine per graph under the same pool (**batch-cold**), so warm-arena
@@ -23,8 +26,11 @@
 //! from post-hoc `LevelStats` summation, so they also include the score
 //! phase of the terminal level that stops the loop.
 //!
-//! Schema (`parcomm-bench-v1`): one top-level object with `schema`,
-//! `label`, `created_unix`, `host` (thread count, alloc-stats on/off) and
+//! Schema (`parcomm-bench-v2`; v1 predates the `contract-radix` arm and
+//! the host `rayon_threads` field, and `cargo xtask bench` still loads it
+//! as a comparison baseline): one top-level object with `schema`,
+//! `label`, `created_unix`, `host` (available parallelism, default rayon
+//! pool width, alloc-stats on/off) and
 //! `results`, an array of records keyed by (`instance`, `threads`, `arm`)
 //! carrying min/median/max end-to-end seconds, per-kernel phase sums
 //! (score/match/contract), level count, modularity, peak RSS, and — when
@@ -46,7 +52,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use pcd_core::{
-    detect_many, Budget, CancelToken, Config, DetectionResult, Detector, LevelObserver, Tee,
+    detect_many, Budget, CancelToken, Config, ContractorKind, DetectionResult, Detector,
+    LevelObserver, Tee,
 };
 use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
 use pcd_graph::Graph;
@@ -279,15 +286,20 @@ fn report_cell(r: &Record) {
     );
 }
 
-/// The four single-instance arms as (name, reuse, observed, budgeted).
-/// "observed" is "reuse" with the full pcd-trace recorder attached;
-/// "budgeted-unarmed" is "reuse" with an armed but non-binding budget.
-/// Each pair with "reuse" gates that subsystem's end-to-end overhead.
-const CELL_ARMS: [(&str, bool, bool, bool); 4] = [
-    ("reuse", true, false, false),
-    ("fresh", false, false, false),
-    ("observed", true, true, false),
-    ("budgeted-unarmed", true, false, true),
+/// The five single-instance arms as (name, reuse, observed, budgeted,
+/// radix). "observed" is "reuse" with the full pcd-trace recorder
+/// attached; "budgeted-unarmed" is "reuse" with an armed but non-binding
+/// budget. Each pair with "reuse" gates that subsystem's end-to-end
+/// overhead. "contract-radix" is "reuse" with the radix-sort contraction
+/// kernel in place of bucket — `cargo xtask bench
+/// --min-contract-speedup` gates its contract-phase seconds against the
+/// reuse arm's.
+const CELL_ARMS: [(&str, bool, bool, bool, bool); 5] = [
+    ("reuse", true, false, false, false),
+    ("fresh", false, false, false, false),
+    ("observed", true, true, false, false),
+    ("budgeted-unarmed", true, false, true, false),
+    ("contract-radix", true, false, false, true),
 ];
 
 /// Arms whose record carries `overhead_vs_reuse`.
@@ -306,8 +318,14 @@ fn measure_cell(
     runs: usize,
 ) -> (Vec<Record>, Option<Registry>) {
     debug_assert_eq!(
-        CELL_ARMS.map(|(a, _, _, _)| a),
-        ["reuse", "fresh", "observed", "budgeted-unarmed"]
+        CELL_ARMS.map(|(a, _, _, _, _)| a),
+        [
+            "reuse",
+            "fresh",
+            "observed",
+            "budgeted-unarmed",
+            "contract-radix"
+        ]
     );
     let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); CELL_ARMS.len()];
     let mut lasts: Vec<Option<(DetectionResult, PhaseTimes, Option<Registry>)>> =
@@ -318,14 +336,17 @@ fn measure_cell(
         // them brackets reuse, with fresh always leading, so every gated
         // arm spends half its rounds adjacent to reuse on each side and
         // none systematically occupies the warmer late position.
-        let order: [usize; 4] = if round % 2 == 0 {
-            [1, 0, 2, 3]
+        // contract-radix alternates between the tail and the slot right
+        // before reuse: its speedup gate compares contract-phase seconds
+        // against reuse, so the two arms should sample the same epochs.
+        let order: [usize; 5] = if round % 2 == 0 {
+            [1, 0, 2, 3, 4]
         } else {
-            [1, 3, 0, 2]
+            [1, 4, 3, 0, 2]
         };
         for i in order {
-            let (_, reuse, observed, budgeted) = CELL_ARMS[i];
-            let (secs, allocs, outcome) = run_once(g, threads, reuse, observed, budgeted);
+            let (_, reuse, observed, budgeted, radix) = CELL_ARMS[i];
+            let (secs, allocs, outcome) = run_once(g, threads, reuse, observed, budgeted, radix);
             samples[i].push(secs);
             allocations[i] = allocs;
             lasts[i] = Some(outcome);
@@ -342,11 +363,11 @@ fn measure_cell(
     let fastest = |xs: &[f64]| xs.iter().copied().min_by(f64::total_cmp);
     let reuse_min = CELL_ARMS
         .iter()
-        .position(|&(a, _, _, _)| a == "reuse")
+        .position(|&(a, _, _, _, _)| a == "reuse")
         .and_then(|r| fastest(&samples[r]));
     let mut registry = None;
     let mut records = Vec::with_capacity(CELL_ARMS.len());
-    for (i, &(arm, _, _, _)) in CELL_ARMS.iter().enumerate() {
+    for (i, &(arm, _, _, _, _)) in CELL_ARMS.iter().enumerate() {
         let (result, phases, reg) = lasts[i].take().expect("runs >= 1");
         if reg.is_some() {
             registry = reg;
@@ -389,6 +410,7 @@ fn run_once(
     reuse: bool,
     observed: bool,
     budgeted: bool,
+    radix: bool,
 ) -> (
     f64,
     Option<u64>,
@@ -396,6 +418,9 @@ fn run_once(
 ) {
     let graph = g.clone();
     let mut cfg = Config::default().with_scratch_reuse(reuse);
+    if radix {
+        cfg = cfg.with_contractor(ContractorKind::Radix);
+    }
     if budgeted {
         cfg = cfg.with_budget(
             Budget::unarmed()
@@ -524,7 +549,7 @@ fn render(args: &Args, instances: &[(String, usize, usize)], records: &[Record])
     let created = unix_now();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"parcomm-bench-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"parcomm-bench-v2\",");
     let _ = writeln!(s, "  \"label\": {},", json_str(&args.label));
     let _ = writeln!(s, "  \"created_unix\": {created},");
     let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
@@ -533,6 +558,15 @@ fn render(args: &Args, instances: &[(String, usize, usize)], records: &[Record])
         s,
         "    \"available_parallelism\": {},",
         std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    // The default rayon pool the cells' `with_threads` scopes fall back
+    // to; together with available_parallelism this pins down the thread
+    // environment, so `cargo xtask bench` can refuse to silently compare
+    // reports taken at different widths.
+    let _ = writeln!(
+        s,
+        "    \"rayon_threads\": {},",
+        rayon::current_num_threads()
     );
     let _ = writeln!(s, "    \"alloc_stats\": {}", cfg!(feature = "alloc-stats"));
     s.push_str("  },\n");

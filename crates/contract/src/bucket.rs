@@ -64,23 +64,26 @@ pub fn contract_with_policy(g: &Graph, m: &Matching, placement: Placement) -> Co
 
 /// Reusable working storage for [`contract_into`]: the relabel map and its
 /// prefix-sum buffer, the matched-edge bitset, relabelled endpoints, bucket
-/// counts/offsets/cursors, the bucketed temp arrays, and the shortened
-/// bucket lengths. Every buffer is cleared and logically resized per call;
-/// capacity only grows, so steady-state contraction allocates nothing.
+/// counts/offsets/cursors, the bucketed temp arrays, the radix kernel's
+/// ping-pong arena ([`crate::radix`]), and the shortened bucket lengths.
+/// Every buffer is cleared and logically resized per call; capacity only
+/// grows, so steady-state contraction allocates nothing.
 #[derive(Debug, Default)]
 pub struct ContractScratch {
-    is_leader: Vec<usize>,
-    new_of_old: Vec<VertexId>,
-    matched_bits: Vec<u64>,
-    new_src: Vec<u32>,
-    new_dst: Vec<u32>,
-    counts: Vec<usize>,
-    bucket_off: Vec<usize>,
-    cursor: Vec<usize>,
-    tmp_dst: Vec<u32>,
-    tmp_w: Vec<u64>,
-    uniq: Vec<usize>,
-    final_off: Vec<usize>,
+    pub(crate) is_leader: Vec<usize>,
+    pub(crate) new_of_old: Vec<VertexId>,
+    pub(crate) matched_bits: Vec<u64>,
+    pub(crate) new_src: Vec<u32>,
+    pub(crate) new_dst: Vec<u32>,
+    pub(crate) counts: Vec<usize>,
+    pub(crate) bucket_off: Vec<usize>,
+    pub(crate) cursor: Vec<usize>,
+    pub(crate) tmp_dst: Vec<u32>,
+    pub(crate) tmp_w: Vec<u64>,
+    pub(crate) radix_dst: Vec<u32>,
+    pub(crate) radix_w: Vec<u64>,
+    pub(crate) uniq: Vec<usize>,
+    pub(crate) final_off: Vec<usize>,
 }
 
 impl ContractScratch {
@@ -118,6 +121,8 @@ impl ContractScratch {
             + self.cursor.capacity() * size_of::<usize>()
             + self.tmp_dst.capacity() * size_of::<u32>()
             + self.tmp_w.capacity() * size_of::<u64>()
+            + self.radix_dst.capacity() * size_of::<u32>()
+            + self.radix_w.capacity() * size_of::<u64>()
             + self.uniq.capacity() * size_of::<usize>()
             + self.final_off.capacity() * size_of::<usize>()
     }
@@ -151,6 +156,8 @@ pub fn contract_into(
         cursor,
         tmp_dst,
         tmp_w,
+        radix_dst: _,
+        radix_w: _,
         uniq,
         final_off,
     } = scratch;
@@ -360,7 +367,7 @@ pub fn contract_into(
 /// buffer, no heap allocation, O(1) extra space. Equal destinations may
 /// land in any relative order, but their weights are summed with exact
 /// integer addition, so the accumulated output is order-independent.
-fn sort_accumulate(dst: &mut [u32], w: &mut [u64]) -> usize {
+pub(crate) fn sort_accumulate(dst: &mut [u32], w: &mut [u64]) -> usize {
     let len = dst.len();
     if len == 0 {
         return 0;

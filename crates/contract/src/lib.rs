@@ -16,6 +16,12 @@
 //!   (no barrier, nondeterministic layout) and a prefix-sum placement
 //!   (deterministic layout). The paper "ha\[s\] not timed the difference";
 //!   our ablation bench does.
+//! * [`radix`] — the profile-driven rewrite of the bucket hot path:
+//!   prefix-sum placement, cache-blocked scatter, and stable LSD
+//!   counting-sort accumulation of parallel edges, bit-identical to
+//!   [`bucket`] with prefix-sum placement (DESIGN.md §15). Also hosts
+//!   [`contract_map_into`], the generic map-based contraction the
+//!   vertex-following pre-pass uses.
 //! * [`linked`] — the 2011 baseline: hash-chain merging in the style of
 //!   John T. Feo's full/empty-bit linked lists, rendered honestly on Intel
 //!   hardware as mutex-guarded chains ("infeasible" under OpenMP — the
@@ -24,9 +30,11 @@
 
 pub mod bucket;
 pub mod linked;
+pub mod radix;
 pub mod seq;
 
 pub use bucket::{contract, contract_into, contract_with_policy, ContractScratch, Placement};
+pub use radix::contract_map_into;
 
 use pcd_graph::Graph;
 use pcd_matching::Matching;

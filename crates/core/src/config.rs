@@ -39,6 +39,10 @@ pub enum ContractorKind {
     /// Bucket-sort with the racy fetch-and-add placement the paper
     /// mentions but never timed.
     BucketFetchAdd,
+    /// Counting/radix-sort contraction: prefix-sum placement,
+    /// cache-blocked scatter, and per-row LSD counting accumulation —
+    /// bit-identical to [`ContractorKind::Bucket`] (DESIGN.md §15).
+    Radix,
     /// The 2011 linked-list hash-chain baseline.
     Linked,
     /// Sequential hash-map oracle.
@@ -117,6 +121,14 @@ pub struct Config {
     /// sequential greedy completion and the level is flagged in
     /// [`crate::LevelStats::matcher_degraded`].
     pub max_match_rounds: Option<usize>,
+    /// Merge every degree-1 vertex into its sole neighbor before the level
+    /// loop starts (Lu & Halappanavar's *vertex following* heuristic):
+    /// detection then runs on the pruned graph and assignments expand back
+    /// through the follow map. Shrinks the first — largest — contraction
+    /// dramatically on hairy social graphs; off by default because it
+    /// changes which partition the greedy agglomeration converges to
+    /// (quality stays within the gated band, see `tests/dispatch_parity.rs`).
+    pub vertex_following: bool,
     /// Reuse the driver's per-level scratch arenas ([`crate::LevelScratch`])
     /// across levels (default). When `false`, every level rebuilds the
     /// arenas from empty — the pre-reuse allocation behaviour, kept as the
@@ -145,6 +157,7 @@ impl Default for Config {
             record_levels: false,
             paranoia: Paranoia::Off,
             max_match_rounds: None,
+            vertex_following: false,
             reuse_scratch: true,
             budget: Budget::unarmed(),
             #[cfg(feature = "fault-injection")]
@@ -226,6 +239,15 @@ impl Config {
     /// Overrides the matcher watchdog's round cap.
     pub fn with_max_match_rounds(mut self, n: usize) -> Self {
         self.max_match_rounds = Some(n);
+        self
+    }
+
+    #[must_use]
+    /// Enables or disables the vertex-following pre-pass (off by default):
+    /// degree-1 vertices merge into their sole neighbor before level 1,
+    /// and assignments expand back through the follow map afterwards.
+    pub fn with_vertex_following(mut self, on: bool) -> Self {
+        self.vertex_following = on;
         self
     }
 
@@ -428,5 +450,21 @@ mod tests {
         assert_eq!(c.scorer, ScorerKind::Conductance);
         assert_eq!(c.max_community_size, Some(100));
         assert_eq!(c.criteria.len(), 1);
+    }
+
+    #[test]
+    fn vertex_following_rides_the_builder() {
+        assert!(!Config::default().vertex_following);
+        let c = Config::default()
+            .with_vertex_following(true)
+            .with_contractor(ContractorKind::Radix);
+        assert!(c.vertex_following);
+        assert_eq!(c.contractor, ContractorKind::Radix);
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            c.resolve().unwrap().contractor.kind(),
+            ContractorKind::Radix
+        );
+        assert!(!c.with_vertex_following(false).vertex_following);
     }
 }

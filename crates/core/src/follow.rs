@@ -1,0 +1,240 @@
+//! Vertex-following pre-pass (Lu & Halappanavar's hair-pruning heuristic).
+//!
+//! Social graphs carry enormous amounts of *hair*: degree-1 vertices whose
+//! only possible merge is their sole neighbor. The greedy agglomeration
+//! will make those merges eventually — but only one pair per level, while
+//! every level pays full price to relabel, scatter, and sort the hair's
+//! edges. Following the hair up front merges **every** degree-1 vertex
+//! into its neighbor in one generic map contraction
+//! ([`pcd_contract::contract_map_into`]) before level 1, so the first —
+//! largest — contraction runs on the pruned graph.
+//!
+//! Rules, applied in a single pass (no fixpoint iteration — one round of
+//! pruning is where the paper's payoff lives):
+//!
+//! * degree ≥ 2 or degree 0: the vertex is a leader and keeps its place;
+//! * degree 1 with a neighbor of degree ≥ 2: the vertex follows the
+//!   neighbor (which is a leader by the first rule);
+//! * an isolated edge (both endpoints degree 1): the larger id follows
+//!   the smaller, mirroring the relabel pass's pair convention.
+//!
+//! Degree counts proper edges only; self-loops ride along with their
+//! vertex wherever it goes. Leaders take dense new ids in ascending old-id
+//! order, so the map is deterministic. Merging a pendant vertex conserves
+//! total weight, volumes, and coverage semantics exactly (the leaf edge
+//! becomes self-loop weight); modularity and coverage of the final
+//! partition stay within the gated band (`tests/dispatch_parity.rs`).
+
+use pcd_graph::Graph;
+use pcd_util::scan::exclusive_prefix_sum;
+use pcd_util::sync::{as_atomic_u32, RELAXED};
+use pcd_util::{VertexId, NO_VERTEX};
+use rayon::prelude::*;
+
+/// Reusable working storage for [`follow_map_into`]: per-vertex degrees,
+/// each degree-1 vertex's sole neighbor, the leader prefix-sum buffer, and
+/// the resulting old→new map. Cleared and logically resized per call;
+/// capacity is retained.
+#[derive(Debug, Default)]
+pub struct FollowScratch {
+    deg: Vec<u32>,
+    sole: Vec<VertexId>,
+    is_leader: Vec<usize>,
+    /// The old→new map of the most recent [`follow_map_into`] call.
+    pub new_of_old: Vec<VertexId>,
+}
+
+impl FollowScratch {
+    /// A scratch with no retained capacity.
+    pub fn new() -> Self {
+        FollowScratch::default()
+    }
+
+    /// Heap bytes retained by this scratch (capacity, not length) — summed
+    /// into the engine's scratch-memory ceiling ledger.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.deg.capacity() * size_of::<u32>()
+            + self.sole.capacity() * size_of::<VertexId>()
+            + self.is_leader.capacity() * size_of::<usize>()
+            + self.new_of_old.capacity() * size_of::<VertexId>()
+    }
+}
+
+/// Builds the vertex-following old→new map for `g` into
+/// `scratch.new_of_old` and returns the number of pruned vertices
+/// (`num_new`). `num_new == g.num_vertices()` means the graph has no
+/// degree-1 vertices and the map is the identity — callers skip the
+/// contraction entirely in that case.
+pub fn follow_map_into(g: &Graph, scratch: &mut FollowScratch) -> usize {
+    let FollowScratch {
+        deg,
+        sole,
+        is_leader,
+        new_of_old,
+    } = scratch;
+    let nv = g.num_vertices();
+    let ne = g.num_edges();
+
+    deg.clear();
+    deg.resize(nv, 0);
+    {
+        let cells = as_atomic_u32(deg);
+        (0..ne).into_par_iter().for_each(|e| {
+            // ORDERING: RELAXED — pure degree counting; the join barrier
+            // publishes the totals to the passes below.
+            let (i, j, _) = g.edge(e);
+            cells[i as usize].fetch_add(1, RELAXED);
+            cells[j as usize].fetch_add(1, RELAXED);
+        });
+    }
+    let deg: &[u32] = deg;
+
+    // A degree-1 vertex appears in exactly one edge, so its `sole` slot
+    // has exactly one writer.
+    sole.clear();
+    sole.resize(nv, NO_VERTEX);
+    {
+        let cells = as_atomic_u32(sole);
+        (0..ne).into_par_iter().for_each(|e| {
+            // ORDERING: RELAXED — single writer per slot (degree 1 means
+            // one incident edge); the join barrier publishes the stores.
+            let (i, j, _) = g.edge(e);
+            if deg[i as usize] == 1 {
+                cells[i as usize].store(j, RELAXED);
+            }
+            if deg[j as usize] == 1 {
+                cells[j as usize].store(i, RELAXED);
+            }
+        });
+    }
+    let sole: &[VertexId] = sole;
+
+    let leader_of = |v: usize| -> usize {
+        if deg[v] != 1 {
+            return v;
+        }
+        let u = sole[v] as usize;
+        if deg[u] == 1 {
+            // Isolated edge: both pendant, smaller id leads.
+            v.min(u)
+        } else {
+            u
+        }
+    };
+
+    is_leader.clear();
+    is_leader.resize(nv, 0);
+    is_leader
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(v, l)| *l = (leader_of(v) == v) as usize);
+    let num_new = exclusive_prefix_sum(is_leader);
+    if num_new == nv {
+        // No hair: identity map, nothing to contract.
+        new_of_old.clear();
+        // analyze: allow(alloc, reason = "identity fill of a recycled scratch buffer; capacity amortizes")
+        new_of_old.extend(0..nv as u32);
+        return nv;
+    }
+    let offsets: &[usize] = is_leader;
+    new_of_old.clear();
+    new_of_old.resize(nv, 0);
+    new_of_old
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(v, n)| *n = offsets[leader_of(v)] as VertexId);
+    num_new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_for(g: &Graph) -> (Vec<VertexId>, usize) {
+        let mut s = FollowScratch::new();
+        let n = follow_map_into(g, &mut s);
+        (s.new_of_old.clone(), n)
+    }
+
+    #[test]
+    fn star_hair_follows_center() {
+        // Center 0 with 4 leaves: all leaves follow 0.
+        let mut b = pcd_graph::GraphBuilder::new(5);
+        for leaf in 1..5u32 {
+            b = b.add_edge(0, leaf, 1);
+        }
+        let g = b.build();
+        let (map, n) = map_for(&g);
+        assert_eq!(n, 1);
+        assert_eq!(map, vec![0; 5]);
+    }
+
+    #[test]
+    fn isolated_edge_larger_follows_smaller() {
+        let g = pcd_graph::GraphBuilder::new(4)
+            .add_pairs([(0, 1), (2, 3)])
+            .build();
+        let (map, n) = map_for(&g);
+        assert_eq!(n, 2);
+        assert_eq!(map, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn chain_prunes_only_endpoints() {
+        // Path 0-1-2-3: 0 follows 1, 3 follows 2; the middle survives.
+        let g = pcd_gen::classic::path(4);
+        let (map, n) = map_for(&g);
+        assert_eq!(n, 2);
+        assert_eq!(map, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn degree_free_graph_is_identity() {
+        let g = pcd_gen::classic::ring(6);
+        let (map, n) = map_for(&g);
+        assert_eq!(n, 6);
+        assert_eq!(map, (0..6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        // Vertex 2 has no edges at all; it leads itself.
+        let g = pcd_graph::GraphBuilder::new(3).add_edge(0, 1, 1).build();
+        let (map, n) = map_for(&g);
+        assert_eq!(n, 2);
+        assert_eq!(map, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn follow_then_contract_conserves_weight() {
+        // Clique ring with hair glued on: one leaf per clique vertex.
+        let base = pcd_gen::classic::clique_ring(4, 4);
+        let nb = base.num_vertices();
+        let mut b = pcd_graph::GraphBuilder::new(nb * 2);
+        for (i, j, w) in base.edges() {
+            b = b.add_edge(i, j, w);
+        }
+        for v in 0..nb as u32 {
+            b = b.add_edge(v, nb as u32 + v, 1);
+        }
+        let g = b.build();
+        let mut fs = FollowScratch::new();
+        let n = follow_map_into(&g, &mut fs);
+        assert_eq!(n, nb);
+        let mut cs = pcd_contract::ContractScratch::new();
+        let pruned = pcd_contract::contract_map_into(
+            &g,
+            &fs.new_of_old,
+            n,
+            &mut cs,
+            pcd_graph::GraphParts::default(),
+        );
+        assert_eq!(pruned.total_weight(), g.total_weight());
+        assert_eq!(pruned.validate(), Ok(()));
+        // Every pruned vertex absorbed exactly its own leaf edge.
+        for v in 0..nb as u32 {
+            assert_eq!(pruned.self_loop(v), 1);
+        }
+    }
+}

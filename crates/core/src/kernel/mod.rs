@@ -116,9 +116,10 @@ pub static MATCHERS: [&dyn Matcher; 3] = [
 ];
 
 /// All registered contractors, in listing order.
-pub static CONTRACTORS: [&dyn Contractor; 4] = [
+pub static CONTRACTORS: [&dyn Contractor; 5] = [
     &contractors::Bucket,
     &contractors::BucketFetchAdd,
+    &contractors::Radix,
     &contractors::Linked,
     &contractors::SequentialOracle,
 ];
@@ -254,6 +255,7 @@ mod tests {
         for kind in [
             ContractorKind::Bucket,
             ContractorKind::BucketFetchAdd,
+            ContractorKind::Radix,
             ContractorKind::Linked,
             ContractorKind::Sequential,
         ] {

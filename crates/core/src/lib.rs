@@ -32,6 +32,7 @@ pub mod driver;
 pub mod engine;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+pub mod follow;
 pub mod kernel;
 pub mod multilevel;
 pub mod observer;
@@ -49,6 +50,7 @@ pub use driver::{detect, try_detect};
 pub use engine::{detect_many, detect_many_outcomes, Detector};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;
+pub use follow::{follow_map_into, FollowScratch};
 pub use kernel::{Contractor, KernelSet, Matcher, Scorer};
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
 pub use observer::{LevelObserver, NoopObserver, Tee};

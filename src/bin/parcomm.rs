@@ -43,6 +43,9 @@ gen options:
 
 detect options:
   --scorer modularity|conductance|heavy
+  --contractor NAME  contraction kernel (see --list-kernels; default bucket)
+  --vertex-following merge degree-1 vertices into their sole neighbor
+                   before level 1 (no value)
   --coverage F     stop at coverage >= F (paper rule: 0.5)
   --max-levels N   budget: stop after N contraction levels
   --deadline-ms N  budget: wall-clock deadline; on expiry the best-effort
@@ -151,7 +154,7 @@ fn print_kernels() {
 
 /// Flags that take no value (presence-only switches). Everything else in
 /// this CLI takes exactly one value.
-const BOOL_FLAGS: &[&str] = &["--progress", "--strict-budget"];
+const BOOL_FLAGS: &[&str] = &["--progress", "--strict-budget", "--vertex-following"];
 
 struct Flags<'a>(&'a [String]);
 
@@ -345,6 +348,8 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
         "detect",
         &[
             "--scorer",
+            "--contractor",
+            "--vertex-following",
             "--coverage",
             "--max-levels",
             "--deadline-ms",
@@ -371,6 +376,19 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
         "conductance" => config = config.with_scorer(ScorerKind::Conductance),
         "heavy" => config = config.with_scorer(ScorerKind::HeavyEdge),
         other => return Err(usage(format!("unknown scorer '{other}'"))),
+    }
+    if let Some(name) = f.get("--contractor") {
+        let c = kernel::contractor_by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = kernel::CONTRACTORS.iter().map(|c| c.name()).collect();
+            usage(format!(
+                "unknown contractor '{name}' (known: {})",
+                known.join(", ")
+            ))
+        })?;
+        config = config.with_contractor(c.kind());
+    }
+    if f.has("--vertex-following") {
+        config = config.with_vertex_following(true);
     }
     if let Some(c) = f.get("--coverage") {
         let c: f64 = c

@@ -123,6 +123,23 @@ fn tiny_memory_ceiling_stops_after_one_level() {
 }
 
 #[test]
+fn memory_ceiling_fires_under_radix_kernel() {
+    // The scratch-bytes ledger must account for the radix kernel's extra
+    // arenas (and the vertex-following scratch): a ceiling the bucket
+    // kernel would also breach must still terminate cleanly with a
+    // best-effort partition when the radix contractor owns the hot path.
+    let g = paper_graph();
+    let cfg = Config::default()
+        .with_contractor(ContractorKind::Radix)
+        .with_vertex_following(true)
+        .with_budget(Budget::unarmed().with_max_scratch_bytes(1));
+    let r = Detector::new(cfg).unwrap().run(g.clone()).unwrap();
+    assert_eq!(r.termination, Termination::MemoryCeiling);
+    assert_eq!(r.levels.len(), 1);
+    assert_valid_partition(&g, &r);
+}
+
+#[test]
 fn strict_mode_turns_breach_into_error() {
     let cfg = Config::default().with_budget(Budget::unarmed().with_deadline_ms(0).strict());
     let err = Detector::new(cfg)

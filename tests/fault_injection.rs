@@ -14,8 +14,24 @@ fn test_graph() -> Graph {
     parcomm::gen::classic::clique_ring(6, 5)
 }
 
+/// CI's budget-faults matrix re-runs this whole wall once per contraction
+/// kernel: `PARCOMM_TEST_CONTRACTOR=<name>` (any `--list-kernels`
+/// spelling, e.g. `radix`) swaps the contractor every test here
+/// dispatches through; unset runs the default bucket kernel. The guards
+/// under test sit outside the contractors, so every kernel must convert
+/// the same faults into the same structured errors.
+fn base_config() -> Config {
+    let mut cfg = Config::default();
+    if let Ok(name) = std::env::var("PARCOMM_TEST_CONTRACTOR") {
+        let c = parcomm::core::kernel::contractor_by_name(&name)
+            .unwrap_or_else(|| panic!("PARCOMM_TEST_CONTRACTOR: unknown contractor '{name}'"));
+        cfg = cfg.with_contractor(c.kind());
+    }
+    cfg
+}
+
 fn faulted(fault: FaultPlan, paranoia: Paranoia) -> Result<(), (usize, Phase, String)> {
-    let mut cfg = Config::default().with_paranoia(paranoia);
+    let mut cfg = base_config().with_paranoia(paranoia);
     cfg.fault = fault;
     match try_detect(test_graph(), &cfg) {
         Ok(_) => Ok(()),
@@ -114,7 +130,7 @@ fn faults_sail_through_with_paranoia_off() {
             ..FaultPlan::default()
         },
     ] {
-        let mut cfg = Config::default();
+        let mut cfg = base_config();
         cfg.fault = fault.clone();
         let r = try_detect(test_graph(), &cfg);
         assert!(
@@ -129,10 +145,10 @@ fn faults_sail_through_with_paranoia_off() {
 fn unarmed_plan_is_inert() {
     let plan = FaultPlan::default();
     assert!(!plan.is_armed());
-    let mut cfg = Config::default().with_paranoia(Paranoia::Full);
+    let mut cfg = base_config().with_paranoia(Paranoia::Full);
     cfg.fault = plan;
     let clean = try_detect(test_graph(), &cfg).unwrap();
-    let reference = detect(test_graph(), &Config::default());
+    let reference = detect(test_graph(), &base_config());
     assert_eq!(clean.assignment, reference.assignment);
 }
 
@@ -142,7 +158,7 @@ fn injected_stall_deterministically_breaches_a_deadline() {
     // the post-match boundary check (or, if the host already burned the
     // 5ms, the level-start check) must fire before any level completes,
     // so the run returns the untouched singleton partition as Deadline.
-    let mut cfg = Config::default()
+    let mut cfg = base_config()
         .with_budget(Budget::unarmed().with_deadline(std::time::Duration::from_millis(5)));
     cfg.fault = FaultPlan {
         stall_match_at_level: Some((1, 50)),
@@ -161,7 +177,7 @@ fn injected_stall_deterministically_breaches_a_deadline() {
     );
 
     // The same stall under a strict budget is a structured error.
-    let mut strict = Config::default().with_budget(
+    let mut strict = base_config().with_budget(
         Budget::unarmed()
             .with_deadline(std::time::Duration::from_millis(5))
             .strict(),
@@ -176,7 +192,7 @@ fn injected_stall_deterministically_breaches_a_deadline() {
 
 #[test]
 fn injected_panic_poisons_only_the_isolated_engine() {
-    let mut cfg = Config::default();
+    let mut cfg = base_config();
     cfg.fault = FaultPlan {
         panic_contract_at_level: Some(1),
         ..FaultPlan::default()
@@ -195,7 +211,7 @@ fn injected_panic_poisons_only_the_isolated_engine() {
     assert!(again.is_engine_poisoned());
     // And a plain (unisolated) run on a clean engine with the same graph
     // still works, proving the poison never leaked into shared state.
-    let clean = detect(test_graph(), &Config::default());
+    let clean = detect(test_graph(), &base_config());
     assert!(clean.num_communities < test_graph().num_vertices());
 }
 
@@ -209,7 +225,7 @@ fn batch_panic_fails_exactly_the_graph_that_reaches_the_faulted_level() {
         parcomm::gen::classic::clique_ring(3, 3),
         parcomm::gen::classic::clique_ring(4, 3),
     ];
-    let clean = Config::default();
+    let clean = base_config();
     let deep = detect(big.clone(), &clean).levels.len();
     let solo: Vec<_> = smalls.iter().map(|g| detect(g.clone(), &clean)).collect();
     for (i, r) in solo.iter().enumerate() {
@@ -219,7 +235,7 @@ fn batch_panic_fails_exactly_the_graph_that_reaches_the_faulted_level() {
         );
     }
 
-    let mut cfg = Config::default();
+    let mut cfg = base_config();
     cfg.fault = FaultPlan {
         panic_contract_at_level: Some(deep),
         ..FaultPlan::default()
@@ -244,7 +260,7 @@ fn batch_panic_fails_exactly_the_graph_that_reaches_the_faulted_level() {
 
     // A level-1 panic fails every graph — but as per-graph errors, never
     // a propagated panic out of the batch call.
-    let mut all_fault = Config::default();
+    let mut all_fault = base_config();
     all_fault.fault = FaultPlan {
         panic_contract_at_level: Some(1),
         ..FaultPlan::default()

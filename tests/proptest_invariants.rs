@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants, on arbitrary random
 //! multigraphs (duplicates, self-loops, weights included).
 
-use parcomm::contract::{bucket, edge_fingerprint, linked, seq as cseq, Placement};
+use parcomm::contract::{bucket, edge_fingerprint, linked, radix, seq as cseq, Placement};
 use parcomm::core::{score_all_into, ScoreContext, ScorerKind};
 use parcomm::graph::{builder, components};
 use parcomm::matching::{edge_sweep, parallel, seq as mseq, verify::verify_matching};
@@ -120,5 +120,63 @@ proptest! {
         let singles: Vec<u32> = (0..nv as u32).collect();
         let q_single = parcomm::metrics::modularity(&g, &singles);
         prop_assert!(r.modularity >= q_single - 1e-12);
+    }
+
+    #[test]
+    fn radix_contractor_agrees_with_bucket((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let ctx = ScoreContext::new(&g);
+        let scores = score_all(ScorerKind::Modularity, &g, &ctx);
+        let m = parallel::match_unmatched_list(&g, &scores);
+
+        let a = bucket::contract_with_policy(&g, &m, Placement::PrefixSum);
+        let r = radix::contract(&g, &m);
+        prop_assert_eq!(edge_fingerprint(&a.graph), edge_fingerprint(&r.graph));
+        prop_assert_eq!(a.graph.self_loops(), r.graph.self_loops());
+        prop_assert_eq!(a.num_new, r.num_new);
+        prop_assert_eq!(r.graph.total_weight(), g.total_weight());
+        prop_assert_eq!(r.graph.validate(), Ok(()));
+    }
+
+    #[test]
+    fn follow_map_is_a_dense_weight_conserving_surjection((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let mut fs = parcomm::core::FollowScratch::new();
+        let num_new = parcomm::core::follow_map_into(&g, &mut fs);
+        prop_assert_eq!(fs.new_of_old.len(), nv);
+        prop_assert!(num_new >= 1 && num_new <= nv);
+        // Dense surjection onto 0..num_new.
+        let mut hit = vec![false; num_new];
+        for &n in &fs.new_of_old {
+            prop_assert!((n as usize) < num_new);
+            hit[n as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h));
+        // Contracting through the map conserves weight and validity.
+        let mut cs = parcomm::contract::ContractScratch::new();
+        let pruned = parcomm::contract::contract_map_into(
+            &g, &fs.new_of_old, num_new, &mut cs, Default::default(),
+        );
+        prop_assert_eq!(pruned.num_vertices(), num_new);
+        prop_assert_eq!(pruned.total_weight(), g.total_weight());
+        prop_assert_eq!(pruned.validate(), Ok(()));
+    }
+
+    #[test]
+    fn vertex_following_detection_yields_valid_partition((nv, edges) in arb_graph_input()) {
+        let g = builder::from_edges(nv, edges);
+        let cfg = parcomm::Config::default().with_vertex_following(true);
+        let r = parcomm::detect(g.clone(), &cfg);
+        prop_assert_eq!(r.assignment.len(), nv);
+        prop_assert_eq!(r.community_vertex_counts.iter().sum::<u64>(), nv as u64);
+        for &c in &r.assignment {
+            prop_assert!((c as usize) < r.num_communities);
+        }
+        // Reported quality is the expanded assignment's quality on the
+        // original graph — the expansion can't drift from the metrics.
+        let q_direct = parcomm::metrics::modularity(&g, &r.assignment);
+        prop_assert!((q_direct - r.modularity).abs() < 1e-9);
+        let cov_direct = parcomm::metrics::coverage(&g, &r.assignment);
+        prop_assert!((cov_direct - r.coverage).abs() < 1e-9);
     }
 }

@@ -27,6 +27,8 @@ use crate::analyze::{FileCtx, Violation};
 /// them would bury the signal under blanket waivers.
 pub(crate) const HOT_FILES: &[&str] = &[
     "crates/contract/src/bucket.rs",
+    "crates/contract/src/radix.rs",
+    "crates/core/src/follow.rs",
     "crates/core/src/scorer.rs",
     "crates/matching/src/edge_sweep.rs",
     "crates/matching/src/parallel.rs",

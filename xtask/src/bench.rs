@@ -1,10 +1,14 @@
 //! `cargo xtask bench` — the JSON benchmark gate.
 //!
 //! Drives `bench_gate` (crates/bench/src/bin/bench_gate.rs), validates the
-//! emitted `parcomm-bench-v1` report against the expected schema, and
+//! emitted `parcomm-bench-v2` report against the expected schema (v1
+//! reports, which predate the `contract-radix` arm and the host
+//! `rayon_threads` field, still load as comparison baselines), and
 //! compares it with the previous checked-in `BENCH_*.json`: any
 //! (instance, threads, arm) cell whose median end-to-end time regressed by
-//! more than the configured threshold fails the gate.
+//! more than the configured threshold fails the gate. Comparing reports
+//! taken at different thread widths prints a loud warning — those
+//! medians measure different machines.
 //!
 //! Like the lint gate, this module is dependency-free: the JSON reader is
 //! a small recursive-descent parser covering exactly the JSON the harness
@@ -24,6 +28,7 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     let mut threshold = DEFAULT_THRESHOLD;
     let mut max_observed_overhead: Option<f64> = None;
     let mut max_budget_overhead: Option<f64> = None;
+    let mut min_contract_speedup: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut forward: Vec<String> = Vec::new();
@@ -59,6 +64,13 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
                             .map_err(|_| "bad --max-budget-overhead".to_string())?,
                     );
                 }
+                "--min-contract-speedup" => {
+                    min_contract_speedup = Some(
+                        val("--min-contract-speedup")?
+                            .parse()
+                            .map_err(|_| "bad --min-contract-speedup".to_string())?,
+                    );
+                }
                 "--out" => out = Some(val("--out")?),
                 "--baseline" => baseline = Some(val("--baseline")?),
                 // Pass instance-shape flags straight through to bench_gate.
@@ -88,6 +100,12 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
         eprintln!("xtask bench: --max-budget-overhead is a ratio >= 1.0 (e.g. 1.01 allows +1%)");
         return ExitCode::FAILURE;
     }
+    if min_contract_speedup.is_some_and(|l| l < 1.0) {
+        eprintln!(
+            "xtask bench: --min-contract-speedup is a ratio >= 1.0 (e.g. 1.2 demands 20% faster)"
+        );
+        return ExitCode::FAILURE;
+    }
 
     let root = crate::repo_root();
     let out_path = root.join(out.as_deref().unwrap_or(if smoke {
@@ -113,14 +131,18 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     println!(
         "xtask bench: {} is schema-valid ({} result cells)",
         out_path.display(),
-        report.len()
+        report.cells.len()
     );
-    if !overhead_ok(&report, "observed", max_observed_overhead, smoke) {
+    if !overhead_ok(&report.cells, "observed", max_observed_overhead, smoke) {
         eprintln!("xtask bench: observed arm exceeds --max-observed-overhead");
         return ExitCode::FAILURE;
     }
-    if !overhead_ok(&report, "budgeted-unarmed", max_budget_overhead, smoke) {
+    if !overhead_ok(&report.cells, "budgeted-unarmed", max_budget_overhead, smoke) {
         eprintln!("xtask bench: budgeted-unarmed arm exceeds --max-budget-overhead");
+        return ExitCode::FAILURE;
+    }
+    if !contract_speedup_ok(&report.cells, min_contract_speedup, smoke) {
+        eprintln!("xtask bench: contract-radix arm falls short of --min-contract-speedup");
         return ExitCode::FAILURE;
     }
     if smoke {
@@ -147,10 +169,11 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
         "xtask bench: comparing against {} (threshold {threshold}x)",
         baseline_path.display()
     );
+    warn_thread_mismatch(&report, &base);
 
     let mut regressions = 0usize;
-    for cell in &report {
-        let Some(old) = base.iter().find(|b| b.key() == cell.key()) else {
+    for cell in &report.cells {
+        let Some(old) = base.cells.iter().find(|b| b.key() == cell.key()) else {
             continue;
         };
         let ratio = cell.median_secs / old.median_secs;
@@ -178,10 +201,90 @@ fn usage() {
     eprintln!(
         "usage: cargo xtask bench [--smoke] [--skip-run] [--alloc-stats] \
          [--threshold 1.15] [--max-observed-overhead 1.02] \
-         [--max-budget-overhead 1.01] [--out FILE] \
+         [--max-budget-overhead 1.01] [--min-contract-speedup 1.2] \
+         [--out FILE] \
          [--baseline FILE] [--scale N] [--sbm-vertices N] [--threads 1,2,8] \
          [--runs N] [--label L]"
     );
+}
+
+/// Loud, non-fatal warning when two reports were taken at different
+/// thread widths: every regression verdict below compares medians
+/// measured on effectively different machines. Returns `true` when the
+/// widths match (v1 baselines carry no `rayon_threads`; only the fields
+/// both reports have are compared).
+fn warn_thread_mismatch(new: &Report, old: &Report) -> bool {
+    let pool_differs = match (new.rayon_threads, old.rayon_threads) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    };
+    if new.available_parallelism == old.available_parallelism && !pool_differs {
+        return true;
+    }
+    eprintln!(
+        "xtask bench: ********************************************************"
+    );
+    eprintln!(
+        "xtask bench: WARNING: thread environments differ between the reports:"
+    );
+    eprintln!(
+        "xtask bench:   report   available_parallelism={} rayon_threads={}",
+        new.available_parallelism,
+        new.rayon_threads.map_or("?".into(), |n| n.to_string())
+    );
+    eprintln!(
+        "xtask bench:   baseline available_parallelism={} rayon_threads={}",
+        old.available_parallelism,
+        old.rayon_threads.map_or("?".into(), |n| n.to_string())
+    );
+    eprintln!(
+        "xtask bench: the regression verdicts below compare medians measured"
+    );
+    eprintln!(
+        "xtask bench: at different widths and are advisory at best."
+    );
+    eprintln!(
+        "xtask bench: ********************************************************"
+    );
+    false
+}
+
+/// Prints the contract-phase speedup of the `contract-radix` arm over
+/// the `reuse` (bucket-kernel) arm for every (instance, threads) pair
+/// carrying both, and gates the pooled geometric mean against `limit`
+/// (a minimum: the pool must be at least `limit`x faster). Pooled for
+/// the same reason as [`overhead_ok`]: the kernels do identical
+/// per-level work on every instance, so the cells are replicates of one
+/// quantity. Smoke-mode timings carry no signal and never gate.
+fn contract_speedup_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool {
+    let mut speedups = Vec::new();
+    for cell in report.iter().filter(|c| c.arm == "contract-radix") {
+        let plain = report
+            .iter()
+            .find(|c| c.arm == "reuse" && c.instance == cell.instance && c.threads == cell.threads);
+        let Some(plain) = plain else { continue };
+        if cell.contract_secs <= 0.0 || plain.contract_secs <= 0.0 {
+            continue;
+        }
+        let speedup = plain.contract_secs / cell.contract_secs;
+        println!(
+            "  {:28} t={:<2} contract radix speedup {speedup:.2}x \
+             ({:.4}s -> {:.4}s)",
+            cell.instance, cell.threads, plain.contract_secs, cell.contract_secs
+        );
+        speedups.push(speedup);
+    }
+    if speedups.is_empty() {
+        return true;
+    }
+    let mean = (speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let under = !smoke && limit.is_some_and(|l| mean < l);
+    println!(
+        "  contract-radix speedup geometric mean over {} cell(s): {mean:.2}x{}",
+        speedups.len(),
+        if under { "  UNDER TARGET" } else { "" }
+    );
+    !under
 }
 
 /// Prints the `arm`-vs-reuse ratio for every (instance, threads) pair
@@ -294,6 +397,10 @@ pub(crate) struct Cell {
     pub threads: u64,
     pub arm: String,
     pub median_secs: f64,
+    /// Contract-phase seconds of the cell's measured run — what the
+    /// `--min-contract-speedup` gate compares between the
+    /// `contract-radix` and `reuse` arms.
+    pub contract_secs: f64,
     /// Ratio of this arm's and the reuse arm's fastest samples, emitted
     /// by bench_gate on `observed` and `budgeted-unarmed` cells only.
     /// Preferred by the overhead gate over a ratio of independent medians
@@ -309,22 +416,39 @@ impl Cell {
     }
 }
 
-/// Reads, parses, and schema-checks a report; returns its result cells.
-pub(crate) fn load_report(path: &Path) -> Result<Vec<Cell>, String> {
+/// A validated report: its result cells plus the host thread environment
+/// (what the thread-mismatch warning compares).
+#[derive(Debug)]
+pub(crate) struct Report {
+    pub cells: Vec<Cell>,
+    pub available_parallelism: u64,
+    /// Default rayon pool width. `None` in v1 reports, which predate the
+    /// field.
+    pub rayon_threads: Option<u64>,
+}
+
+/// Reads, parses, and schema-checks a report.
+pub(crate) fn load_report(path: &Path) -> Result<Report, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let json = parse_json(&text)?;
     validate_report(&json)
 }
 
-/// Validates the `parcomm-bench-v1` shape and extracts the cells.
-pub(crate) fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
+/// Validates the `parcomm-bench-v2` shape (v1 accepted for baselines)
+/// and extracts the cells plus host thread environment.
+pub(crate) fn validate_report(json: &Json) -> Result<Report, String> {
     let top = json.as_obj().ok_or("top level must be an object")?;
     let schema = get(top, "schema")?
         .as_str()
         .ok_or("\"schema\" must be a string")?;
-    if schema != "parcomm-bench-v1" {
-        return Err(format!("unknown schema {schema:?}"));
-    }
+    let v2 = match schema {
+        "parcomm-bench-v2" => true,
+        // v1 reports predate the contract-radix arm and host.rayon_threads;
+        // they stay loadable so previous PRs' BENCH_*.json work as
+        // comparison baselines.
+        "parcomm-bench-v1" => false,
+        _ => return Err(format!("unknown schema {schema:?}")),
+    };
     get(top, "label")?
         .as_str()
         .ok_or("\"label\" must be a string")?;
@@ -334,9 +458,17 @@ pub(crate) fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
     let host = get(top, "host")?
         .as_obj()
         .ok_or("\"host\" must be an object")?;
-    get(host, "available_parallelism")?
+    let available_parallelism = get(host, "available_parallelism")?
         .as_f64()
-        .ok_or("host.available_parallelism must be a number")?;
+        .ok_or("host.available_parallelism must be a number")? as u64;
+    let rayon_threads = match obj_get_opt(host, "rayon_threads") {
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or("host.rayon_threads must be a number")? as u64,
+        ),
+        None if v2 => return Err("v2 reports must carry host.rayon_threads".into()),
+        None => None,
+    };
     let instances = get(top, "instances")?
         .as_arr()
         .ok_or("\"instances\" must be an array")?;
@@ -365,11 +497,12 @@ pub(crate) fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
         let o = r.as_obj().ok_or("result entries must be objects")?;
         let instance = o_str(o, "instance")?;
         let arm = o_str(o, "arm")?;
-        const ARMS: [&str; 6] = [
+        const ARMS: [&str; 7] = [
             "reuse",
             "fresh",
             "observed",
             "budgeted-unarmed",
+            "contract-radix",
             "batch-warm",
             "batch-cold",
         ];
@@ -380,16 +513,10 @@ pub(crate) fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
             ));
         }
         let threads = o_num(o, "threads")? as u64;
-        for k in [
-            "runs",
-            "score_secs",
-            "match_secs",
-            "contract_secs",
-            "levels",
-            "modularity",
-        ] {
+        for k in ["runs", "score_secs", "match_secs", "levels", "modularity"] {
             o_num(o, k)?;
         }
+        let contract_secs = o_num(o, "contract_secs")?;
         for k in ["peak_rss_bytes", "allocations"] {
             let v = get(o, k)?;
             if !matches!(v, Json::Null) && v.as_f64().is_none() {
@@ -434,10 +561,15 @@ pub(crate) fn validate_report(json: &Json) -> Result<Vec<Cell>, String> {
             threads,
             arm,
             median_secs: median,
+            contract_secs,
             overhead_vs_reuse,
         });
     }
-    Ok(cells)
+    Ok(Report {
+        cells,
+        available_parallelism,
+        rayon_threads,
+    })
 }
 
 fn obj_get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
@@ -675,8 +807,8 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": "parcomm-bench-v1", "label": "t", "created_unix": 1, "smoke": true,
-      "host": {"available_parallelism": 4, "alloc_stats": false},
+      "schema": "parcomm-bench-v2", "label": "t", "created_unix": 1, "smoke": true,
+      "host": {"available_parallelism": 4, "rayon_threads": 4, "alloc_stats": false},
       "instances": [{"name": "rmat-8-16", "vertices": 256, "edges": 1000}],
       "results": [{
         "instance": "rmat-8-16", "threads": 2, "arm": "reuse", "runs": 3,
@@ -689,17 +821,109 @@ mod tests {
 
     #[test]
     fn parses_and_validates_good_report() {
-        let cells = validate_report(&parse_json(GOOD).unwrap()).unwrap();
+        let report = validate_report(&parse_json(GOOD).unwrap()).unwrap();
+        assert_eq!(report.available_parallelism, 4);
+        assert_eq!(report.rayon_threads, Some(4));
+        let cells = &report.cells;
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].instance, "rmat-8-16");
         assert_eq!(cells[0].threads, 2);
         assert_eq!(cells[0].arm, "reuse");
         assert_eq!(cells[0].median_secs, 1.0);
+        assert_eq!(cells[0].contract_secs, 0.3);
+    }
+
+    #[test]
+    fn v1_reports_stay_loadable_as_baselines() {
+        // A pre-radix report: v1 schema, no host.rayon_threads. It must
+        // load (previous PRs' BENCH_*.json are comparison baselines)...
+        let v1 = GOOD
+            .replace("parcomm-bench-v2", "parcomm-bench-v1")
+            .replace("\"rayon_threads\": 4, ", "");
+        let report = validate_report(&parse_json(&v1).unwrap()).unwrap();
+        assert_eq!(report.rayon_threads, None);
+        assert_eq!(report.cells.len(), 1);
+        // ...but a v2 report missing the field is malformed...
+        let v2_missing = GOOD.replace("\"rayon_threads\": 4, ", "");
+        assert!(validate_report(&parse_json(&v2_missing).unwrap())
+            .unwrap_err()
+            .contains("rayon_threads"));
+        // ...and a v1 report that happens to carry it parses it.
+        let v1_with = GOOD.replace("parcomm-bench-v2", "parcomm-bench-v1");
+        assert_eq!(
+            validate_report(&parse_json(&v1_with).unwrap())
+                .unwrap()
+                .rayon_threads,
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn thread_mismatch_warns_only_on_real_differences() {
+        let mk = |ap: u64, rt: Option<u64>| Report {
+            cells: Vec::new(),
+            available_parallelism: ap,
+            rayon_threads: rt,
+        };
+        assert!(warn_thread_mismatch(&mk(8, Some(8)), &mk(8, Some(8))));
+        // v1 baselines have no pool width: only available_parallelism
+        // can disagree.
+        assert!(warn_thread_mismatch(&mk(8, Some(8)), &mk(8, None)));
+        assert!(!warn_thread_mismatch(&mk(8, Some(8)), &mk(4, None)));
+        assert!(!warn_thread_mismatch(&mk(8, Some(8)), &mk(8, Some(4))));
+        assert!(!warn_thread_mismatch(&mk(4, Some(8)), &mk(8, Some(8))));
+    }
+
+    #[test]
+    fn contract_radix_arm_is_valid_and_speedup_is_gated() {
+        let radix = GOOD.replace("\"reuse\"", "\"contract-radix\"");
+        let report = validate_report(&parse_json(&radix).unwrap()).unwrap();
+        assert_eq!(report.cells[0].arm, "contract-radix");
+        let mk = |arm: &str, contract_secs: f64| Cell {
+            instance: "g".into(),
+            threads: 1,
+            arm: arm.into(),
+            median_secs: 1.0,
+            contract_secs,
+            overhead_vs_reuse: None,
+        };
+        // 1.5x faster contract phase: passes a 1.2x floor, fails 1.6x.
+        let pair = vec![mk("reuse", 0.3), mk("contract-radix", 0.2)];
+        assert!(contract_speedup_ok(&pair, None, false));
+        assert!(contract_speedup_ok(&pair, Some(1.2), false));
+        assert!(!contract_speedup_ok(&pair, Some(1.6), false));
+        // Smoke-mode timings never gate; a lone arm has nothing to check;
+        // zero-second phases (empty instances) are skipped, not divided by.
+        assert!(contract_speedup_ok(&pair, Some(1.6), true));
+        assert!(contract_speedup_ok(&pair[1..], Some(1.6), false));
+        let degenerate = vec![mk("reuse", 0.0), mk("contract-radix", 0.0)];
+        assert!(contract_speedup_ok(&degenerate, Some(1.6), false));
+        // The pooled geometric mean decides: one fast cell, one slow.
+        let mut four = vec![mk("reuse", 0.4), mk("contract-radix", 0.2)];
+        four.push(Cell {
+            instance: "h".into(),
+            threads: 1,
+            arm: "reuse".into(),
+            median_secs: 1.0,
+            contract_secs: 0.2,
+            overhead_vs_reuse: None,
+        });
+        four.push(Cell {
+            instance: "h".into(),
+            threads: 1,
+            arm: "contract-radix".into(),
+            median_secs: 1.0,
+            contract_secs: 0.2,
+            overhead_vs_reuse: None,
+        });
+        // geomean(2.0, 1.0) = 1.41x: over a 1.3 floor, under 1.5.
+        assert!(contract_speedup_ok(&four, Some(1.3), false));
+        assert!(!contract_speedup_ok(&four, Some(1.5), false));
     }
 
     #[test]
     fn rejects_wrong_schema_and_missing_keys() {
-        let wrong = GOOD.replace("parcomm-bench-v1", "parcomm-bench-v0");
+        let wrong = GOOD.replace("parcomm-bench-v2", "parcomm-bench-v0");
         assert!(validate_report(&parse_json(&wrong).unwrap())
             .unwrap_err()
             .contains("unknown schema"));
@@ -715,7 +939,7 @@ mod tests {
         assert!(validate_report(&parse_json(&bad_arm).unwrap()).is_err());
         for batch_arm in ["batch-warm", "batch-cold"] {
             let batched = GOOD.replace("\"reuse\"", &format!("{batch_arm:?}"));
-            let cells = validate_report(&parse_json(&batched).unwrap()).unwrap();
+            let cells = validate_report(&parse_json(&batched).unwrap()).unwrap().cells;
             assert_eq!(cells[0].arm, batch_arm);
         }
         let disordered = GOOD.replace("\"median\": 1.0", "\"median\": 2.0");
@@ -727,13 +951,14 @@ mod tests {
     #[test]
     fn observed_arm_is_valid_and_overhead_is_gated() {
         let observed = GOOD.replace("\"reuse\"", "\"observed\"");
-        let cells = validate_report(&parse_json(&observed).unwrap()).unwrap();
+        let cells = validate_report(&parse_json(&observed).unwrap()).unwrap().cells;
         assert_eq!(cells[0].arm, "observed");
         let mk = |arm: &str, median_secs: f64| Cell {
             instance: "g".into(),
             threads: 1,
             arm: arm.into(),
             median_secs,
+            contract_secs: 0.1,
             overhead_vs_reuse: None,
         };
         let pair = vec![mk("reuse", 1.0), mk("observed", 1.05)];
@@ -748,13 +973,14 @@ mod tests {
     #[test]
     fn budgeted_unarmed_arm_is_valid_and_gated_independently() {
         let budgeted = GOOD.replace("\"reuse\"", "\"budgeted-unarmed\"");
-        let cells = validate_report(&parse_json(&budgeted).unwrap()).unwrap();
+        let cells = validate_report(&parse_json(&budgeted).unwrap()).unwrap().cells;
         assert_eq!(cells[0].arm, "budgeted-unarmed");
         let mk = |arm: &str, median_secs: f64| Cell {
             instance: "g".into(),
             threads: 1,
             arm: arm.into(),
             median_secs,
+            contract_secs: 0.1,
             overhead_vs_reuse: None,
         };
         // A slow observed arm must not fail the budget gate, and vice
@@ -787,6 +1013,7 @@ mod tests {
             threads: 1,
             arm: arm.into(),
             median_secs: 1.0,
+            contract_secs: 0.1,
             overhead_vs_reuse: overhead,
         };
         // One cell 3% over, one 1% under: the pooled mean (~1.0098x) is
@@ -815,6 +1042,7 @@ mod tests {
             threads: 1,
             arm: arm.into(),
             median_secs,
+            contract_secs: 0.1,
             overhead_vs_reuse: overhead,
         };
         // Medians 10% apart (drift), but the paired per-round ratio says
@@ -833,17 +1061,18 @@ mod tests {
             "\"allocations\": null",
             "\"allocations\": null, \"overhead_vs_reuse\": 1.01",
         );
-        let cells = validate_report(&parse_json(&with_field).unwrap()).unwrap();
+        let cells = validate_report(&parse_json(&with_field).unwrap()).unwrap().cells;
         assert_eq!(cells[0].overhead_vs_reuse, Some(1.01));
         // Absent (old reports) and null are both fine...
         assert_eq!(
-            validate_report(&parse_json(GOOD).unwrap()).unwrap()[0].overhead_vs_reuse,
+            validate_report(&parse_json(GOOD).unwrap()).unwrap().cells[0].overhead_vs_reuse,
             None
         );
         // ...and the field is legal on budgeted-unarmed cells too...
         let on_budgeted = with_field.replace("\"observed\"", "\"budgeted-unarmed\"");
         assert_eq!(
-            validate_report(&parse_json(&on_budgeted).unwrap()).unwrap()[0].overhead_vs_reuse,
+            validate_report(&parse_json(&on_budgeted).unwrap()).unwrap().cells[0]
+                .overhead_vs_reuse,
             Some(1.01)
         );
         // ...but a number on any other arm, or a non-positive one, is not.
@@ -887,7 +1116,7 @@ mod tests {
         // End-to-end wiring check without running cargo: a report written
         // by the harness's renderer must pass this validator. Kept in a
         // fixture string so the test has no cross-crate dependency.
-        let cells = validate_report(&parse_json(GOOD).unwrap()).unwrap();
+        let cells = validate_report(&parse_json(GOOD).unwrap()).unwrap().cells;
         assert!(cells.iter().all(|c| c.median_secs > 0.0));
     }
 }
