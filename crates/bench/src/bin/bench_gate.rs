@@ -12,7 +12,15 @@
 //! checks the same way), plus **contract-radix** (reuse with the
 //! radix-sort contraction kernel, whose contract-phase seconds `cargo
 //! xtask bench --min-contract-speedup` gates against the reuse arm's) —
-//! and writes a single machine-readable JSON report. A batched section measures the engine's
+//! and writes a single machine-readable JSON report. Two sharding cells
+//! ride along: a **sharded** arm (the component-sharded pipeline behind
+//! `Config::with_sharding`) interleaved against plain reuse on a
+//! multi-component `union-*` instance (disjoint R-MAT + SBM union, where
+//! per-component engines can win) and on a connected `ring-*` instance
+//! (where sharding must take the single-component fast path and cost
+//! nothing — `cargo xtask bench --min-sharded-speedup` /
+//! `--max-sharded-overhead` gate the two cases by instance-name prefix).
+//! A batched section measures the engine's
 //! `detect_many` entry point (**batch-warm**: one long-lived [`Detector`]
 //! per rayon worker, arenas stay warm across graphs) against a fresh
 //! engine per graph under the same pool (**batch-cold**), so warm-arena
@@ -29,8 +37,11 @@
 //! Schema (`parcomm-bench-v2`; v1 predates the `contract-radix` arm and
 //! the host `rayon_threads` field, and `cargo xtask bench` still loads it
 //! as a comparison baseline): one top-level object with `schema`,
-//! `label`, `created_unix`, `host` (available parallelism, default rayon
-//! pool width, alloc-stats on/off) and
+//! `label`, `created_unix`, `host` (available parallelism, the global
+//! rayon pool width — pinned at startup to the widest `--threads` entry
+//! via [`pin_global`], recorded as both `rayon_threads` and
+//! `pinned_threads` so reports stop silently describing a 1-core default
+//! pool — and alloc-stats on/off) and
 //! `results`, an array of records keyed by (`instance`, `threads`, `arm`)
 //! carrying min/median/max end-to-end seconds, per-kernel phase sums
 //! (score/match/contract), level count, modularity, peak RSS, and — when
@@ -52,15 +63,17 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use pcd_core::{
-    detect_many, Budget, CancelToken, Config, ContractorKind, DetectionResult, Detector,
-    LevelObserver, Tee,
+    detect_many, try_detect_sharded_observed, Budget, CancelToken, Config, ContractorKind,
+    DetectionResult, Detector, LevelObserver, Tee,
 };
+use pcd_gen::classic::clique_ring;
 use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
-use pcd_graph::Graph;
+use pcd_graph::{builder, Graph};
 use pcd_trace::{metrics_json, Registry, TraceObserver};
-use pcd_util::pool::with_threads;
+use pcd_util::pool::{pin_global, with_threads};
 use pcd_util::timing::{RunStats, Timer};
 use pcd_util::Phase;
+use pcd_util::VertexId;
 use rayon::prelude::*;
 
 #[cfg(feature = "alloc-stats")]
@@ -202,6 +215,18 @@ fn main() -> ExitCode {
         }
     };
 
+    // Pin the global rayon pool to the widest swept width before any
+    // parallel work (instance generation included) touches it, so the
+    // host stanza records the pool the run actually used instead of
+    // rayon's silent per-host default.
+    let pin_width = args.threads.iter().copied().max().unwrap_or(0);
+    if !pin_global(pin_width) {
+        eprintln!(
+            "bench_gate: global rayon pool was already initialized; \
+             could not pin to {pin_width} threads"
+        );
+    }
+
     eprintln!(
         "bench_gate: building instances (rmat scale {}, sbm {} vertices)...",
         args.rmat_scale, args.sbm_vertices
@@ -222,6 +247,25 @@ fn main() -> ExitCode {
         .collect();
     let batch_name = format!("rmat-{batch_scale}-16-x{BATCH_SIZE}");
 
+    // Sharding instances. The union graph is a disjoint id-offset union of
+    // a smaller R-MAT (many isolated vertices and fragments) and a smaller
+    // SBM — the multi-component shape `detect_sharded` exists for. The
+    // clique ring is connected, so its sharded cell must take the
+    // single-component fast path; `--max-sharded-overhead` gates that path
+    // at roughly the noise floor.
+    let union_name = format!("union-rmat{}-sbm{}", batch_scale, args.sbm_vertices / 2);
+    let union_g = disjoint_union(&[
+        rmat_graph(&RmatParams::paper(batch_scale, SEED + 7)),
+        sbm_graph(&SbmParams::livejournal_like(
+            args.sbm_vertices / 2,
+            SEED + 8,
+        ))
+        .graph,
+    ]);
+    let ring_cliques = 1usize << args.rmat_scale.saturating_sub(4).max(4);
+    let ring_name = format!("ring-{ring_cliques}x8");
+    let ring_g = clique_ring(ring_cliques, 8);
+
     let mut records = Vec::new();
     let mut observed_registry: Option<Registry> = None;
     for (name, g) in &instances {
@@ -236,6 +280,14 @@ fn main() -> ExitCode {
             }
         }
     }
+    for (name, g) in [(&union_name, &union_g), (&ring_name, &ring_g)] {
+        for &t in &args.threads {
+            for record in measure_sharded_cell(name, g, t, args.runs) {
+                records.push(record);
+                report_cell(records.last().unwrap());
+            }
+        }
+    }
     for &t in &args.threads {
         for (arm, warm) in [("batch-warm", true), ("batch-cold", false)] {
             records.push(measure_batch(&batch_name, &batch, t, arm, warm, args.runs));
@@ -243,12 +295,14 @@ fn main() -> ExitCode {
         }
     }
 
-    // Instance table: the two headline graphs plus the batch as one entry
-    // (vertex/edge totals across its graphs).
+    // Instance table: the headline graphs, the sharding pair, plus the
+    // batch as one entry (vertex/edge totals across its graphs).
     let mut summaries: Vec<(String, usize, usize)> = instances
         .iter()
         .map(|(name, g)| (name.clone(), g.num_vertices(), g.num_edges()))
         .collect();
+    summaries.push((union_name, union_g.num_vertices(), union_g.num_edges()));
+    summaries.push((ring_name, ring_g.num_vertices(), ring_g.num_edges()));
     summaries.push((
         batch_name,
         batch.iter().map(Graph::num_vertices).sum(),
@@ -392,6 +446,108 @@ fn measure_cell(
         });
     }
     (records, registry)
+}
+
+/// Disjoint id-offset union of `parts`: each part's vertices are shifted
+/// past its predecessors' and no cross-part edges are added, so the
+/// result's connected components are exactly the parts' components.
+fn disjoint_union(parts: &[Graph]) -> Graph {
+    let nv: usize = parts.iter().map(Graph::num_vertices).sum();
+    let mut edges = Vec::new();
+    let mut off: VertexId = 0;
+    for g in parts {
+        edges.extend(g.edges().map(|(u, v, w)| (u + off, v + off, w)));
+        for (v, &w) in g.self_loops().iter().enumerate() {
+            if w > 0 {
+                edges.push((v as VertexId + off, v as VertexId + off, w));
+            }
+        }
+        off += g.num_vertices() as VertexId;
+    }
+    builder::from_edges(nv, edges)
+}
+
+/// Measures the sharding pair on one (instance, threads) cell: plain
+/// `reuse` against the component-`sharded` pipeline, alternating which
+/// arm leads each round so both sample the same machine epochs. Neither
+/// record carries `overhead_vs_reuse` (the schema reserves that field
+/// for the observed/budgeted arms); `cargo xtask bench` pairs the two
+/// arms' medians itself, gating `union-*` instances for speedup and
+/// everything else (the connected ring) for fast-path overhead.
+fn measure_sharded_cell(name: &str, g: &Graph, threads: usize, runs: usize) -> Vec<Record> {
+    const ARMS: [&str; 2] = ["reuse", "sharded"];
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); ARMS.len()];
+    let mut lasts: Vec<Option<(DetectionResult, PhaseTimes)>> = vec![None, None];
+    let mut allocations: Vec<Option<u64>> = vec![None; ARMS.len()];
+    for round in 0..runs {
+        let order: [usize; 2] = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+        for i in order {
+            let (secs, allocs, outcome) = run_once_sharded(g, threads, ARMS[i] == "sharded");
+            samples[i].push(secs);
+            allocations[i] = allocs;
+            lasts[i] = Some(outcome);
+        }
+    }
+    ARMS.iter()
+        .enumerate()
+        .map(|(i, &arm)| {
+            let (result, phases) = lasts[i].take().expect("runs >= 1");
+            Record {
+                instance: name.into(),
+                input_edges: g.num_edges(),
+                threads,
+                arm,
+                end_to_end: RunStats::new(std::mem::take(&mut samples[i])),
+                score_secs: phases.score,
+                match_secs: phases.matching,
+                contract_secs: phases.contract,
+                levels: result.levels.len(),
+                modularity: result.modularity,
+                peak_rss_bytes: peak_rss_bytes(),
+                allocations: allocations[i],
+                overhead_vs_reuse: None,
+            }
+        })
+        .collect()
+}
+
+/// One timed run of the sharding pair. The sharded arm goes through
+/// [`try_detect_sharded_observed`] — decompose, per-component warm
+/// engines, deterministic merge — with one [`PhaseTimes`] observer per
+/// component whose phase sums are added together, so its per-kernel
+/// columns stay comparable to the plain arm's single observer.
+fn run_once_sharded(
+    g: &Graph,
+    threads: usize,
+    sharded: bool,
+) -> (f64, Option<u64>, (DetectionResult, PhaseTimes)) {
+    let graph = g.clone();
+    let cfg = Config::default().with_sharding(sharded);
+    let before = alloc_count();
+    let timer = Timer::start();
+    let outcome = with_threads(threads, move || {
+        if sharded {
+            let (result, observers) = try_detect_sharded_observed(graph, &cfg, PhaseTimes::default)
+                .expect("bench instance detects cleanly");
+            let mut phases = PhaseTimes::default();
+            for o in observers {
+                phases.score += o.score;
+                phases.matching += o.matching;
+                phases.contract += o.contract;
+            }
+            (result, phases)
+        } else {
+            let mut phases = PhaseTimes::default();
+            let result = Detector::new(cfg)
+                .expect("default config is valid")
+                .run_observed(graph, &mut phases)
+                .expect("bench instance detects cleanly");
+            (result, phases)
+        }
+    });
+    let secs = timer.elapsed_secs();
+    let allocs = alloc_count().zip(before).map(|(a, b)| a - b);
+    (secs, allocs, outcome)
 }
 
 /// One timed end-to-end detection; the graph clone happens outside the
@@ -567,6 +723,14 @@ fn render(args: &Args, instances: &[(String, usize, usize)], records: &[Record])
         s,
         "    \"rayon_threads\": {},",
         rayon::current_num_threads()
+    );
+    // The width main() asked pin_global for (the widest --threads entry);
+    // when it matches rayon_threads the pin took, otherwise some earlier
+    // pool initialization won the race.
+    let _ = writeln!(
+        s,
+        "    \"pinned_threads\": {},",
+        args.threads.iter().copied().max().unwrap_or(0)
     );
     let _ = writeln!(s, "    \"alloc_stats\": {}", cfg!(feature = "alloc-stats"));
     s.push_str("  },\n");

@@ -139,6 +139,13 @@ pub struct Config {
     /// ceiling, cancellation. Unarmed by default — zero overhead and
     /// bit-identical results (see [`Budget`]).
     pub budget: Budget,
+    /// Route [`crate::detect`]/[`crate::try_detect`] through the
+    /// WCC-sharded pipeline ([`crate::detect_sharded`]): decompose into
+    /// connected components, detect each over the rayon pool with warm
+    /// per-worker engines, merge deterministically. Off by default; a
+    /// single-component graph takes the exact unsharded path either way
+    /// (DESIGN.md §16).
+    pub sharding: bool,
     /// Fault plan for the injection harness (test builds only).
     #[cfg(feature = "fault-injection")]
     pub fault: crate::fault::FaultPlan,
@@ -160,6 +167,7 @@ impl Default for Config {
             vertex_following: false,
             reuse_scratch: true,
             budget: Budget::unarmed(),
+            sharding: false,
             #[cfg(feature = "fault-injection")]
             fault: crate::fault::FaultPlan::default(),
         }
@@ -263,6 +271,16 @@ impl Config {
     /// Replaces the resource budget (see [`Budget`]).
     pub fn with_budget(mut self, b: Budget) -> Self {
         self.budget = b;
+        self
+    }
+
+    #[must_use]
+    /// Enables or disables WCC-sharded detection (off by default): the
+    /// detect entry points decompose the graph into connected components,
+    /// run them concurrently on warm per-worker engines, and merge the
+    /// results deterministically (see [`crate::detect_sharded`]).
+    pub fn with_sharding(mut self, on: bool) -> Self {
+        self.sharding = on;
         self
     }
 
@@ -466,5 +484,16 @@ mod tests {
             ContractorKind::Radix
         );
         assert!(!c.with_vertex_following(false).vertex_following);
+    }
+
+    #[test]
+    fn sharding_rides_the_builder() {
+        assert!(!Config::default().sharding);
+        let c = Config::default()
+            .with_sharding(true)
+            .with_contractor(ContractorKind::Radix);
+        assert!(c.sharding);
+        assert!(c.validate().is_ok());
+        assert!(!c.with_sharding(false).sharding);
     }
 }

@@ -40,6 +40,7 @@ pub mod refine;
 pub mod result;
 pub mod scorer;
 pub mod scratch;
+pub mod shard;
 pub mod termination;
 
 pub use budget::Budget;
@@ -58,5 +59,9 @@ pub use pcd_util::sync::CancelToken;
 pub use refine::{detect_refined, refine, refine_detected, Refinement};
 pub use result::{DetectionResult, LevelStats, StopReason, Termination};
 pub use scorer::{score_all_into, ScoreContext};
+pub use shard::{
+    detect_sharded, detect_sharded_outcomes, try_detect_sharded, try_detect_sharded_observed,
+    ComponentOutcome,
+};
 pub use scratch::LevelScratch;
 pub use termination::Criterion;

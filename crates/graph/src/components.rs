@@ -12,8 +12,25 @@ use rayon::prelude::*;
 
 /// Parallel connected-component labelling.
 ///
-/// Returns `label` with `label[v]` the smallest vertex id in `v`'s
-/// component — a canonical representative, identical for any thread count.
+/// # Label canonicalization contract
+///
+/// Returns `label` with `label[v]` the **smallest vertex id in `v`'s
+/// component** — a canonical representative, identical for any thread
+/// count, schedule, or edge order. Three properties follow, and both this
+/// function and the sequential oracle [`components_seq`] guarantee all of
+/// them (the property test below pins parallel ≡ sequential on adversarial
+/// graphs):
+///
+/// 1. *Idempotent*: `label[label[v]] == label[v]` — representatives label
+///    themselves, so `label[v] == v` exactly at representatives.
+/// 2. *Minimal*: `label[v] <= v`, with equality iff `v` is its component's
+///    smallest vertex.
+/// 3. *Sorted reps ≡ sorted components*: scanning vertices in ascending
+///    order visits representatives in ascending order, which is what makes
+///    [`crate::subgraph::split_components`]' part ordering deterministic.
+///
+/// Downstream consumers (subgraph extraction, the sharded detection
+/// pipeline) rely on this contract; treat it as frozen API.
 pub fn components(g: &Graph) -> Vec<VertexId> {
     let nv = g.num_vertices();
     let mut label: Vec<u32> = (0..nv as u32).collect();
@@ -182,5 +199,63 @@ mod tests {
         let l = components(&g);
         assert!(l.iter().all(|&x| x == 0));
         assert_eq!(count_components(&l), 1);
+    }
+
+    /// Asserts the full canonicalization contract documented on
+    /// [`components`]: min-id representatives, idempotence, and agreement
+    /// with the union-find oracle.
+    fn assert_canonical_and_matching(g: &Graph) {
+        let par = components(g);
+        let seq = components_seq(g);
+        assert_eq!(par, seq, "parallel vs sequential labels");
+        // Minimality + idempotence: the label is never above its vertex
+        // and representatives label themselves, which together pin the
+        // label to the component's smallest member.
+        for (v, &l) in par.iter().enumerate() {
+            assert!(l as usize <= v, "label {l} above its vertex {v}");
+            assert_eq!(par[l as usize], l, "representative {l} not a fixpoint");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+
+        /// Adversarial random multigraphs: duplicate edges, self-loops,
+        /// skewed endpoints (hub bias via min), isolated tails.
+        fn parallel_components_match_sequential_oracle(
+            nv in 1usize..220,
+            ne in 0usize..500,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let edges: Vec<(u32, u32, u64)> = (0..ne)
+                .map(|_| {
+                    // Bias one endpoint low so star/hub shapes appear.
+                    let i = (next() % nv as u64).min(next() % nv as u64) as u32;
+                    let j = (next() % nv as u64) as u32;
+                    (i, j, next() % 5 + 1)
+                })
+                .collect();
+            let g = crate::builder::from_edges(nv, edges);
+            assert_canonical_and_matching(&g);
+        }
+
+        /// Long chains exercise the pointer-jumping shortcut loop.
+        fn parallel_components_match_on_chains(
+            nv in 2usize..400,
+            stride in 1usize..5,
+        ) {
+            let edges: Vec<(u32, u32, u64)> = (0..nv.saturating_sub(stride))
+                .map(|i| (i as u32, (i + stride) as u32, 1))
+                .collect();
+            let g = crate::builder::from_edges(nv, edges);
+            assert_canonical_and_matching(&g);
+        }
     }
 }

@@ -401,6 +401,28 @@ pub fn detect_many_traced(
     Ok((results, merged))
 }
 
+/// As [`pcd_core::try_detect_sharded`], additionally attaching a fresh
+/// [`TraceObserver`] to every component's engine run and merging the
+/// per-component registries **in component order** (ascending canonical
+/// representative) after the parallel detect stage — so deterministic
+/// counters are identical whatever thread pool ran the shards, exactly
+/// like [`detect_many_traced`] over a batch. A single-component graph
+/// takes the unsharded fast path and yields that one run's registry;
+/// trivial synthesized components (single zero-weight vertices) run no
+/// engine and contribute no metrics.
+pub fn detect_sharded_traced(
+    graph: Graph,
+    config: &Config,
+) -> Result<(DetectionResult, Registry), PcdError> {
+    let (result, observers) =
+        pcd_core::try_detect_sharded_observed(graph, config, TraceObserver::new)?;
+    let mut merged = Registry::new();
+    for obs in observers {
+        merged.merge_from(&obs.into_registry());
+    }
+    Ok((result, merged))
+}
+
 /// As [`pcd_core::detect_many_outcomes`], additionally tracing every run
 /// and merging the per-graph registries **in input order**, like
 /// [`detect_many_traced`]. Failed runs contribute no metrics (their
@@ -654,6 +676,75 @@ mod tests {
             assert_eq!(r.termination, Termination::WatchdogDegraded);
             assert_eq!(termination_counter(obs.registry(), "watchdog-degraded"), 1);
         }
+    }
+
+    #[test]
+    fn detect_sharded_traced_merges_registries_deterministically() {
+        // Two clique rings plus an isolated vertex: two engine-run
+        // components and one synthesized trivial component (no metrics).
+        let a = pcd_gen::classic::clique_ring(4, 5);
+        let b = pcd_gen::classic::clique_ring(3, 4);
+        let na = a.num_vertices();
+        let mut edges: Vec<(u32, u32, u64)> = a.edges().collect();
+        edges.extend(b.edges().map(|(i, j, w)| (i + na as u32, j + na as u32, w)));
+        let g = pcd_graph::builder::from_edges(na + b.num_vertices() + 1, edges);
+        let cfg = Config::default();
+
+        let (r, reg) = detect_sharded_traced(g.clone(), &cfg).unwrap();
+        assert_eq!(counter(&reg, "pcd_runs_total"), 2, "trivial shard untraced");
+        let levels: u64 = {
+            // Per-component level totals: recompute from solo runs.
+            let split = pcd_graph::subgraph::split_components(&g);
+            split
+                .parts
+                .iter()
+                .filter(|p| p.graph.total_weight() > 0)
+                .map(|p| {
+                    pcd_core::try_detect(p.graph.clone(), &cfg)
+                        .unwrap()
+                        .levels
+                        .len() as u64
+                })
+                .sum()
+        };
+        assert_eq!(counter(&reg, "pcd_levels_total"), levels);
+        assert_eq!(termination_counter(&reg, "converged"), 2);
+
+        // Pool-size independence of the merged deterministic counters.
+        let (r1, reg1) = pcd_util::pool::with_threads(1, {
+            let g = g.clone();
+            let cfg = cfg.clone();
+            move || detect_sharded_traced(g, &cfg).unwrap()
+        });
+        assert_eq!(r1.assignment, r.assignment);
+        assert_eq!(
+            counter(&reg1, "pcd_levels_total"),
+            counter(&reg, "pcd_levels_total")
+        );
+        assert_eq!(
+            counter(&reg1, "pcd_merges_total"),
+            counter(&reg, "pcd_merges_total")
+        );
+    }
+
+    #[test]
+    fn detect_sharded_traced_single_component_matches_plain_trace() {
+        let g = pcd_gen::classic::clique_ring(4, 6);
+        let cfg = Config::default();
+        let (r, reg) = detect_sharded_traced(g.clone(), &cfg).unwrap();
+        let mut det = Detector::new(cfg.clone()).unwrap();
+        let mut obs = TraceObserver::new();
+        let plain = det.run_observed(g, &mut obs).unwrap();
+        assert_eq!(r.assignment, plain.assignment);
+        assert_eq!(counter(&reg, "pcd_runs_total"), 1);
+        assert_eq!(
+            counter(&reg, "pcd_levels_total"),
+            counter(obs.registry(), "pcd_levels_total")
+        );
+        assert_eq!(
+            counter(&reg, "pcd_edges_scored_total"),
+            counter(obs.registry(), "pcd_edges_scored_total")
+        );
     }
 
     #[test]

@@ -35,6 +35,23 @@ pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T 
     pool.install(f)
 }
 
+/// Pins the **global** rayon pool to exactly `threads` workers, so
+/// `par_iter` work outside any [`with_threads`] scope (a CLI run, a bench
+/// harness's setup phase) stops silently defaulting to whatever rayon
+/// picked at first use. Returns `true` if the pool was pinned, `false` if
+/// the global pool was already initialized (first caller wins — rayon's
+/// global pool is build-once). `threads == 0` is a no-op that leaves
+/// rayon's own default in place and reports `true`.
+pub fn pin_global(threads: usize) -> bool {
+    if threads == 0 {
+        return true;
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .is_ok()
+}
+
 /// The thread counts used for a scaling sweep on this host: powers of two up
 /// to the number of logical CPUs, always including the maximum.
 pub fn sweep_thread_counts() -> Vec<usize> {
@@ -79,6 +96,20 @@ mod tests {
         assert_eq!(mine, thread_ordinal(), "ordinal changed between calls");
         let other = std::thread::spawn(thread_ordinal).join().unwrap();
         assert_ne!(mine, other, "two threads shared an ordinal");
+    }
+
+    #[test]
+    fn pin_global_zero_is_noop_and_repins_are_rejected() {
+        assert!(pin_global(0), "0 leaves rayon's default untouched");
+        // The global pool is build-once: whatever happened first in this
+        // process (an earlier pin or rayon's lazy default), a second
+        // explicit pin cannot succeed twice in a row.
+        let first = pin_global(2);
+        let second = pin_global(3);
+        assert!(
+            !(first && second),
+            "two explicit pins both claimed the pool"
+        );
     }
 
     #[test]

@@ -44,6 +44,9 @@ gen options:
 detect options:
   --scorer modularity|conductance|heavy
   --contractor NAME  contraction kernel (see --list-kernels; default bucket)
+  --sharded        detect each connected component independently (warm
+                   engines across the pool) and merge deterministically;
+                   incompatible with --trace (no value)
   --vertex-following merge degree-1 vertices into their sole neighbor
                    before level 1 (no value)
   --coverage F     stop at coverage >= F (paper rule: 0.5)
@@ -68,6 +71,10 @@ seed options:
 
 communities options:
   --top N          how many largest communities to print (default 20)
+
+common options:
+  --threads N      rayon pool size for the command's parallel work
+                   (gen, detect, stats, compare, communities; 0 = default)
 
 Files ending in .bin use the compact binary format; anything else is a
 whitespace edge list.
@@ -154,7 +161,12 @@ fn print_kernels() {
 
 /// Flags that take no value (presence-only switches). Everything else in
 /// this CLI takes exactly one value.
-const BOOL_FLAGS: &[&str] = &["--progress", "--strict-budget", "--vertex-following"];
+const BOOL_FLAGS: &[&str] = &[
+    "--progress",
+    "--strict-budget",
+    "--vertex-following",
+    "--sharded",
+];
 
 struct Flags<'a>(&'a [String]);
 
@@ -250,6 +262,17 @@ fn usage(msg: impl Into<String>) -> PcdError {
     PcdError::usage(msg)
 }
 
+/// Runs `f` inside a dedicated rayon pool of `threads` workers, or inline
+/// on the default pool when `threads` is 0 — the `--threads` contract
+/// shared by every parallel subcommand.
+fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    if threads > 0 {
+        parcomm::util::pool::with_threads(threads, f)
+    } else {
+        f()
+    }
+}
+
 fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
     f.check_allowed(
@@ -263,6 +286,7 @@ fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
             "--cliques",
             "--size",
             "--mixing",
+            "--threads",
         ],
     )?;
     let kind = f
@@ -275,32 +299,36 @@ fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
         .ok_or_else(|| usage("gen: missing -o <file>"))?
         .into();
     let seed: u64 = f.parse("--seed", 42)?;
-    let graph = match kind.as_str() {
-        "rmat" => {
-            let scale: u32 = f.parse("--scale", 14)?;
-            parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(scale, seed))
-        }
-        "sbm" => {
-            let n: usize = f.parse("--vertices", 100_000)?;
-            parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(n, seed)).graph
-        }
-        "web" => {
-            let n: usize = f.parse("--vertices", 100_000)?;
-            parcomm::gen::web_graph(&parcomm::gen::WebParams::uk_like(n, seed)).graph
-        }
-        "clique-ring" => {
-            let k: usize = f.parse("--cliques", 8)?;
-            let s: usize = f.parse("--size", 8)?;
-            parcomm::gen::classic::clique_ring(k, s)
-        }
-        "karate" => parcomm::gen::classic::karate_club(),
-        "lfr" => {
-            let n: usize = f.parse("--vertices", 10_000)?;
-            let mu: f64 = f.parse("--mixing", 0.2)?;
-            parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(n, mu, seed)).graph
-        }
-        other => return Err(usage(format!("gen: unknown kind '{other}'"))),
-    };
+    let threads: usize = f.parse("--threads", 0)?;
+    let f = &f;
+    let graph = with_pool(threads, move || -> Result<Graph, PcdError> {
+        Ok(match kind.as_str() {
+            "rmat" => {
+                let scale: u32 = f.parse("--scale", 14)?;
+                parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(scale, seed))
+            }
+            "sbm" => {
+                let n: usize = f.parse("--vertices", 100_000)?;
+                parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(n, seed)).graph
+            }
+            "web" => {
+                let n: usize = f.parse("--vertices", 100_000)?;
+                parcomm::gen::web_graph(&parcomm::gen::WebParams::uk_like(n, seed)).graph
+            }
+            "clique-ring" => {
+                let k: usize = f.parse("--cliques", 8)?;
+                let s: usize = f.parse("--size", 8)?;
+                parcomm::gen::classic::clique_ring(k, s)
+            }
+            "karate" => parcomm::gen::classic::karate_club(),
+            "lfr" => {
+                let n: usize = f.parse("--vertices", 10_000)?;
+                let mu: f64 = f.parse("--mixing", 0.2)?;
+                parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(n, mu, seed)).graph
+            }
+            other => return Err(usage(format!("gen: unknown kind '{other}'"))),
+        })
+    })?;
     parcomm::graph::io::save(&graph, &out).map_err(PcdError::from)?;
     println!(
         "wrote {} ({} vertices, {} edges)",
@@ -349,6 +377,7 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
         &[
             "--scorer",
             "--contractor",
+            "--sharded",
             "--vertex-following",
             "--coverage",
             "--max-levels",
@@ -431,41 +460,72 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
                 .map_err(|_| usage(format!("bad value for --max-match-rounds: '{n}'")))?,
         );
     }
+    let sharded = f.has("--sharded");
+    if sharded {
+        config = config.with_sharding(true);
+    }
     let refine_sweeps: usize = f.parse("--refine", 0)?;
     let threads: usize = f.parse("--threads", 0)?;
     let progress = f.has("--progress");
     let metrics_out = f.get("--metrics").map(str::to_string);
     let trace_out = f.get("--trace").map(str::to_string);
+    if sharded && trace_out.is_some() {
+        // Per-component span rings are not merged; metrics registries are.
+        return Err(usage("detect: --trace is not supported with --sharded"));
+    }
     let tracing = metrics_out.is_some() || trace_out.is_some();
     // Fail on bad knob combinations before spinning up a thread pool.
     config.validate()?;
 
-    let run = move || -> Result<(DetectionResult, Option<TraceObserver>), PcdError> {
-        let mut engine = Detector::new(config)?;
+    /// What a detect run hands back for the `--metrics`/`--trace` writers:
+    /// a full span-recording observer on the unsharded path, the merged
+    /// per-component registry on the sharded one.
+    enum Recorded {
+        None,
+        Observer(TraceObserver),
+        Registry(parcomm::trace::Registry),
+    }
+
+    let run = move || -> Result<(DetectionResult, Recorded), PcdError> {
         // Refinement needs the original graph back after detection
         // consumes it; only pay for the clone when it will be used.
         let original = (refine_sweeps > 0).then(|| g.clone());
-        let mut tracer = tracing.then(TraceObserver::new);
-        let result = match (&mut tracer, progress) {
-            (Some(t), true) => {
-                let mut p = Progress;
-                engine.run_observed(g, &mut Tee::new(&mut p, t))?
+        let (result, recorded) = if sharded {
+            if tracing {
+                let (r, reg) = parcomm::trace::detect_sharded_traced(g, &config)?;
+                (r, Recorded::Registry(reg))
+            } else if progress {
+                // One Progress block per component engine run, folded in
+                // component order.
+                let (r, _) = parcomm::core::try_detect_sharded_observed(g, &config, || Progress)?;
+                (r, Recorded::None)
+            } else {
+                (try_detect(g, &config)?, Recorded::None)
             }
-            (Some(t), false) => engine.run_observed(g, t)?,
-            (None, true) => engine.run_observed(g, &mut Progress)?,
-            (None, false) => engine.run(g)?,
+        } else {
+            let mut engine = Detector::new(config)?;
+            let mut tracer = tracing.then(TraceObserver::new);
+            let result = match (&mut tracer, progress) {
+                (Some(t), true) => {
+                    let mut p = Progress;
+                    engine.run_observed(g, &mut Tee::new(&mut p, t))?
+                }
+                (Some(t), false) => engine.run_observed(g, t)?,
+                (None, true) => engine.run_observed(g, &mut Progress)?,
+                (None, false) => engine.run(g)?,
+            };
+            match tracer {
+                Some(t) => (result, Recorded::Observer(t)),
+                None => (result, Recorded::None),
+            }
         };
         let result = match original {
             Some(orig) => refine_detected(&orig, result, refine_sweeps).0,
             None => result,
         };
-        Ok((result, tracer))
+        Ok((result, recorded))
     };
-    let (r, tracer) = if threads > 0 {
-        parcomm::util::pool::with_threads(threads, run)
-    } else {
-        run()
-    }?;
+    let (r, recorded) = with_pool(threads, run)?;
 
     println!("communities:  {}", r.num_communities);
     println!("modularity:   {:.4}", r.modularity);
@@ -503,21 +563,26 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
         }
         println!("assignments:  {out}");
     }
-    if let Some(obs) = tracer {
+    if !matches!(recorded, Recorded::None) {
         let created_unix = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        if let Some(out) = metrics_out {
+        let registry = match &recorded {
+            Recorded::Observer(obs) => Some(obs.registry()),
+            Recorded::Registry(reg) => Some(reg),
+            Recorded::None => None,
+        };
+        if let (Some(out), Some(reg)) = (metrics_out, registry) {
             let doc = if out.ends_with(".prom") {
-                parcomm::trace::prometheus_text(obs.registry())
+                parcomm::trace::prometheus_text(reg)
             } else {
-                parcomm::trace::metrics_json(obs.registry(), path, created_unix)
+                parcomm::trace::metrics_json(reg, path, created_unix)
             };
             std::fs::write(&out, doc)?;
             println!("metrics:      {out}");
         }
-        if let Some(out) = trace_out {
+        if let (Some(out), Recorded::Observer(obs)) = (trace_out, &recorded) {
             std::fs::write(
                 &out,
                 parcomm::trace::trace_json(obs.ring(), path, created_unix),
@@ -530,14 +595,19 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
 
 fn cmd_stats(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    f.check_allowed("stats", &[])?;
+    f.check_allowed("stats", &["--threads"])?;
     let path = f
         .positional(0)
         .ok_or_else(|| usage("stats: missing graph file"))?;
+    let threads: usize = f.parse("--threads", 0)?;
     let g = load(path)?;
-    let csr = parcomm::graph::Csr::from_graph(&g);
+    with_pool(threads, move || stats_report(&g))
+}
+
+fn stats_report(g: &Graph) -> Result<(), PcdError> {
+    let csr = parcomm::graph::Csr::from_graph(g);
     let d = parcomm::graph::stats::degree_stats(&csr);
-    let labels = parcomm::graph::components::components(&g);
+    let labels = parcomm::graph::components::components(g);
     let ncomp = parcomm::graph::components::count_components(&labels);
     println!("vertices:      {}", g.num_vertices());
     println!("edges:         {}", g.num_edges());
@@ -583,11 +653,16 @@ fn cmd_convert(args: &[String]) -> Result<(), PcdError> {
 
 fn cmd_compare(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    f.check_allowed("compare", &[])?;
+    f.check_allowed("compare", &["--threads"])?;
     let path = f
         .positional(0)
         .ok_or_else(|| usage("compare: missing graph file"))?;
+    let threads: usize = f.parse("--threads", 0)?;
     let g = load(path)?;
+    with_pool(threads, move || compare_report(g))
+}
+
+fn compare_report(g: Graph) -> Result<(), PcdError> {
     println!(
         "{:<20} {:>8} {:>8} {:>9} {:>9}",
         "method", "Q", "cover", "#comm", "time"
@@ -663,20 +738,23 @@ fn cmd_seed(args: &[String]) -> Result<(), PcdError> {
 
 fn cmd_communities(args: &[String]) -> Result<(), PcdError> {
     let f = Flags(args);
-    f.check_allowed("communities", &["--top"])?;
+    f.check_allowed("communities", &["--top", "--threads"])?;
     let path = f
         .positional(0)
         .ok_or_else(|| usage("communities: missing graph file"))?;
     let top: usize = f.parse("--top", 20)?;
+    let threads: usize = f.parse("--threads", 0)?;
     let g = load(path)?;
-    let r = detect(g.clone(), &Config::default());
-    let reports = parcomm::metrics::community_reports(&g, &r.assignment);
-    println!(
-        "{} communities, Q = {:.4}, coverage {:.3}; largest {top}:",
-        r.num_communities, r.modularity, r.coverage
-    );
-    for rep in parcomm::metrics::largest_communities(&reports, top) {
-        println!("{rep}");
-    }
-    Ok(())
+    with_pool(threads, move || {
+        let r = detect(g.clone(), &Config::default());
+        let reports = parcomm::metrics::community_reports(&g, &r.assignment);
+        println!(
+            "{} communities, Q = {:.4}, coverage {:.3}; largest {top}:",
+            r.num_communities, r.modularity, r.coverage
+        );
+        for rep in parcomm::metrics::largest_communities(&reports, top) {
+            println!("{rep}");
+        }
+        Ok(())
+    })
 }

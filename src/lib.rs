@@ -44,14 +44,17 @@ pub use pcd_util as util;
 /// The names most programs need.
 pub mod prelude {
     pub use pcd_core::{
-        detect, detect_many, detect_many_outcomes, try_detect, Budget, CancelToken, Config,
+        detect, detect_many, detect_many_outcomes, detect_sharded, detect_sharded_outcomes,
+        try_detect, try_detect_sharded, Budget, CancelToken, ComponentOutcome, Config,
         ContractorKind, Criterion, Detector, LevelObserver, MatcherKind, Paranoia, ScorerKind,
         Termination,
     };
     pub use pcd_graph::{Graph, GraphBuilder};
     pub use pcd_metrics::{coverage, modularity, normalized_mutual_information};
-    pub use pcd_trace::{detect_many_outcomes_traced, detect_many_traced, TraceObserver};
+    pub use pcd_trace::{
+        detect_many_outcomes_traced, detect_many_traced, detect_sharded_traced, TraceObserver,
+    };
     pub use pcd_util::{PcdError, VertexId, Weight};
 }
 
-pub use pcd_core::{detect, detect_many, Config, Detector};
+pub use pcd_core::{detect, detect_many, detect_sharded, Config, Detector};

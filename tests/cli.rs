@@ -440,6 +440,133 @@ fn detect_with_coverage_rule() {
 }
 
 #[test]
+fn sharded_detect_on_disconnected_graph() {
+    let dir = tmpdir("sharded");
+    let graph = dir.join("rmat.bin");
+    // R-MAT at small scale is naturally disconnected (isolated vertices
+    // and fragments), exactly the input --sharded exists for.
+    assert!(bin()
+        .args(["gen", "rmat", "--scale", "8", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let assignments = dir.join("a.txt");
+    let metrics = dir.join("m.json");
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--sharded", "--threads", "2", "--assignments"])
+        .arg(&assignments)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("modularity:"), "{stdout}");
+    // The merged partition covers every original vertex.
+    let lines = std::fs::read_to_string(&assignments).unwrap();
+    assert_eq!(lines.lines().count(), 256);
+    // Metrics flow through the merged per-component registries.
+    let mdoc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        mdoc.contains("\"schema\": \"parcomm-metrics-v1\""),
+        "{mdoc}"
+    );
+    assert!(mdoc.contains("pcd_runs_total"), "{mdoc}");
+
+    // Span traces are per-run artifacts the merge does not stitch;
+    // asking for one under --sharded is a usage error, not silence.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--sharded", "--trace"])
+        .arg(dir.join("t.json"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not supported with --sharded"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --sharded takes no value: strict parsing still works after it.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--sharded", "--progress"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_flag_accepted_across_subcommands() {
+    let dir = tmpdir("threads-flag");
+    let graph = dir.join("ring.bin");
+    let out = bin()
+        .args([
+            "gen",
+            "clique-ring",
+            "--cliques",
+            "6",
+            "--size",
+            "5",
+            "--threads",
+            "2",
+            "-o",
+        ])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .arg("stats")
+        .arg(&graph)
+        .args(["--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("components:    1"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // 0 means "leave the default pool alone", not an error.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--threads", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_file_reports_error() {
     let out = bin()
         .args(["detect", "/nonexistent/graph.bin"])

@@ -20,12 +20,21 @@ fn test_graph() -> Graph {
 /// dispatches through; unset runs the default bucket kernel. The guards
 /// under test sit outside the contractors, so every kernel must convert
 /// the same faults into the same structured errors.
+///
+/// A second axis, `PARCOMM_TEST_SHARDED=1`, routes every `try_detect`
+/// here through the component-sharded pipeline. [`test_graph`] is
+/// connected, so that axis proves the sharded fast path propagates the
+/// same structured errors as the plain path; the multi-component case is
+/// covered explicitly below.
 fn base_config() -> Config {
     let mut cfg = Config::default();
     if let Ok(name) = std::env::var("PARCOMM_TEST_CONTRACTOR") {
         let c = parcomm::core::kernel::contractor_by_name(&name)
             .unwrap_or_else(|| panic!("PARCOMM_TEST_CONTRACTOR: unknown contractor '{name}'"));
         cfg = cfg.with_contractor(c.kind());
+    }
+    if std::env::var("PARCOMM_TEST_SHARDED").as_deref() == Ok("1") {
+        cfg = cfg.with_sharding(true);
     }
     cfg
 }
@@ -271,4 +280,79 @@ fn batch_panic_fails_exactly_the_graph_that_reaches_the_faulted_level() {
             .expect_err("every graph panics at level 1")
             .is_engine_poisoned());
     }
+}
+
+#[test]
+fn sharded_panic_poisons_only_the_component_that_reaches_the_faulted_level() {
+    // Same shape as the batch test, but the "graphs" are connected
+    // components of ONE disconnected input: a contract-phase panic at a
+    // level only the big component reaches must fail exactly that
+    // component's shard, with the survivors bit-identical to solo runs.
+    let big = parcomm::graph::subgraph::largest_component(&parcomm::gen::rmat_graph(
+        &parcomm::gen::RmatParams::paper(9, 17),
+    ))
+    .graph;
+    let smalls = vec![
+        parcomm::gen::classic::clique_ring(3, 3),
+        parcomm::gen::classic::clique_ring(4, 3),
+    ];
+    let clean = base_config();
+    let deep = detect(big.clone(), &clean).levels.len();
+    let solo: Vec<_> = smalls.iter().map(|g| detect(g.clone(), &clean)).collect();
+    for (i, r) in solo.iter().enumerate() {
+        assert!(
+            r.levels.len() < deep,
+            "small component #{i} reaches level {deep} too; pick a smaller one"
+        );
+    }
+
+    // Disjoint id-offset union, big component first so it holds vertex 0
+    // and leads the canonical component order.
+    let mut parts = vec![big];
+    parts.extend(smalls);
+    let nv: usize = parts.iter().map(Graph::num_vertices).sum();
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    let mut off = 0u32;
+    for g in &parts {
+        edges.extend(g.edges().map(|(u, v, w)| (u + off, v + off, w)));
+        edges.extend(
+            g.self_loops()
+                .iter()
+                .enumerate()
+                .filter_map(|(v, &w)| (w > 0).then_some((v as u32 + off, v as u32 + off, w))),
+        );
+        off += g.num_vertices() as u32;
+    }
+    let union = parcomm::graph::builder::from_edges(nv, edges);
+
+    let mut cfg = base_config();
+    cfg.fault = FaultPlan {
+        panic_contract_at_level: Some(deep),
+        ..FaultPlan::default()
+    };
+    let outcomes = detect_sharded_outcomes(union.clone(), &cfg).unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert!(
+        outcomes[0]
+            .outcome
+            .as_ref()
+            .expect_err("big component panics")
+            .is_engine_poisoned(),
+        "only the big component reaches level {deep}"
+    );
+    for (o, lone) in outcomes[1..].iter().zip(&solo) {
+        let r = o.outcome.as_ref().expect("small components complete");
+        assert_eq!(r.assignment, lone.assignment);
+        assert_eq!(r.modularity, lone.modularity);
+        assert_eq!(r.levels.len(), lone.levels.len());
+    }
+
+    // The merged entry points surface the poisoning as a structured,
+    // deterministic error (the first failing component in component
+    // order) — never a propagated panic, and never a half-merged result.
+    let err = try_detect_sharded(union.clone(), &cfg).expect_err("merged run fails");
+    assert!(err.is_engine_poisoned());
+    let err =
+        try_detect(union, &cfg.clone().with_sharding(true)).expect_err("routed run fails too");
+    assert!(err.is_engine_poisoned());
 }

@@ -29,6 +29,8 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     let mut max_observed_overhead: Option<f64> = None;
     let mut max_budget_overhead: Option<f64> = None;
     let mut min_contract_speedup: Option<f64> = None;
+    let mut min_sharded_speedup: Option<f64> = None;
+    let mut max_sharded_overhead: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut forward: Vec<String> = Vec::new();
@@ -71,6 +73,20 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
                             .map_err(|_| "bad --min-contract-speedup".to_string())?,
                     );
                 }
+                "--min-sharded-speedup" => {
+                    min_sharded_speedup = Some(
+                        val("--min-sharded-speedup")?
+                            .parse()
+                            .map_err(|_| "bad --min-sharded-speedup".to_string())?,
+                    );
+                }
+                "--max-sharded-overhead" => {
+                    max_sharded_overhead = Some(
+                        val("--max-sharded-overhead")?
+                            .parse()
+                            .map_err(|_| "bad --max-sharded-overhead".to_string())?,
+                    );
+                }
                 "--out" => out = Some(val("--out")?),
                 "--baseline" => baseline = Some(val("--baseline")?),
                 // Pass instance-shape flags straight through to bench_gate.
@@ -106,6 +122,17 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if min_sharded_speedup.is_some_and(|l| l <= 0.0) {
+        eprintln!(
+            "xtask bench: --min-sharded-speedup is a positive ratio (e.g. 1.1 demands 10% \
+             faster on union instances; values below 1.0 only bound the slowdown)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if max_sharded_overhead.is_some_and(|l| l < 1.0) {
+        eprintln!("xtask bench: --max-sharded-overhead is a ratio >= 1.0 (e.g. 1.01 allows +1%)");
+        return ExitCode::FAILURE;
+    }
 
     let root = crate::repo_root();
     let out_path = root.join(out.as_deref().unwrap_or(if smoke {
@@ -137,12 +164,25 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
         eprintln!("xtask bench: observed arm exceeds --max-observed-overhead");
         return ExitCode::FAILURE;
     }
-    if !overhead_ok(&report.cells, "budgeted-unarmed", max_budget_overhead, smoke) {
+    if !overhead_ok(
+        &report.cells,
+        "budgeted-unarmed",
+        max_budget_overhead,
+        smoke,
+    ) {
         eprintln!("xtask bench: budgeted-unarmed arm exceeds --max-budget-overhead");
         return ExitCode::FAILURE;
     }
     if !contract_speedup_ok(&report.cells, min_contract_speedup, smoke) {
         eprintln!("xtask bench: contract-radix arm falls short of --min-contract-speedup");
+        return ExitCode::FAILURE;
+    }
+    if !sharded_speedup_ok(&report.cells, min_sharded_speedup, smoke) {
+        eprintln!("xtask bench: sharded arm falls short of --min-sharded-speedup");
+        return ExitCode::FAILURE;
+    }
+    if !sharded_overhead_ok(&report.cells, max_sharded_overhead, smoke) {
+        eprintln!("xtask bench: sharded fast path exceeds --max-sharded-overhead");
         return ExitCode::FAILURE;
     }
     if smoke {
@@ -202,6 +242,7 @@ fn usage() {
         "usage: cargo xtask bench [--smoke] [--skip-run] [--alloc-stats] \
          [--threshold 1.15] [--max-observed-overhead 1.02] \
          [--max-budget-overhead 1.01] [--min-contract-speedup 1.2] \
+         [--min-sharded-speedup 1.1] [--max-sharded-overhead 1.01] \
          [--out FILE] \
          [--baseline FILE] [--scale N] [--sbm-vertices N] [--threads 1,2,8] \
          [--runs N] [--label L]"
@@ -221,12 +262,8 @@ fn warn_thread_mismatch(new: &Report, old: &Report) -> bool {
     if new.available_parallelism == old.available_parallelism && !pool_differs {
         return true;
     }
-    eprintln!(
-        "xtask bench: ********************************************************"
-    );
-    eprintln!(
-        "xtask bench: WARNING: thread environments differ between the reports:"
-    );
+    eprintln!("xtask bench: ********************************************************");
+    eprintln!("xtask bench: WARNING: thread environments differ between the reports:");
     eprintln!(
         "xtask bench:   report   available_parallelism={} rayon_threads={}",
         new.available_parallelism,
@@ -237,15 +274,9 @@ fn warn_thread_mismatch(new: &Report, old: &Report) -> bool {
         old.available_parallelism,
         old.rayon_threads.map_or("?".into(), |n| n.to_string())
     );
-    eprintln!(
-        "xtask bench: the regression verdicts below compare medians measured"
-    );
-    eprintln!(
-        "xtask bench: at different widths and are advisory at best."
-    );
-    eprintln!(
-        "xtask bench: ********************************************************"
-    );
+    eprintln!("xtask bench: the regression verdicts below compare medians measured");
+    eprintln!("xtask bench: at different widths and are advisory at best.");
+    eprintln!("xtask bench: ********************************************************");
     false
 }
 
@@ -285,6 +316,84 @@ fn contract_speedup_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool
         if under { "  UNDER TARGET" } else { "" }
     );
     !under
+}
+
+/// End-to-end speedup of the `sharded` arm over `reuse` on the
+/// multi-component `union-*` instances — the case component sharding
+/// exists for. Pairs the arms at the same (instance, threads), pools by
+/// geometric mean, and gates the pool against `limit` as a minimum.
+/// Unlike the other speedup gate the limit may sit below 1.0: on narrow
+/// hosts per-component detection pays decompose/merge overhead without
+/// winning concurrency, and the gate then bounds the slowdown instead.
+/// Smoke-mode timings never gate.
+fn sharded_speedup_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool {
+    let mut speedups = Vec::new();
+    for (cell, plain) in sharded_pairs(report, |instance| instance.starts_with("union-")) {
+        let speedup = plain.median_secs / cell.median_secs;
+        println!(
+            "  {:28} t={:<2} sharded speedup {speedup:.2}x ({:.4}s -> {:.4}s)",
+            cell.instance, cell.threads, plain.median_secs, cell.median_secs
+        );
+        speedups.push(speedup);
+    }
+    if speedups.is_empty() {
+        return true;
+    }
+    let mean = (speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let under = !smoke && limit.is_some_and(|l| mean < l);
+    println!(
+        "  sharded speedup geometric mean over {} union cell(s): {mean:.2}x{}",
+        speedups.len(),
+        if under { "  UNDER TARGET" } else { "" }
+    );
+    !under
+}
+
+/// Whole-run cost of routing a **connected** graph through the sharded
+/// entry point, which must detect the single component and fall through
+/// to the plain engine: the sharded/reuse ratio on every non-`union-*`
+/// instance carrying both arms (the `ring-*` cells), pooled by geometric
+/// mean and gated against `limit` as a maximum. This is the fast-path
+/// acceptance check — one components() sweep over an untouched graph —
+/// so the budget is small (≈1%). Smoke-mode timings never gate.
+fn sharded_overhead_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool {
+    let mut ratios = Vec::new();
+    for (cell, plain) in sharded_pairs(report, |instance| !instance.starts_with("union-")) {
+        let ratio = cell.median_secs / plain.median_secs;
+        println!(
+            "  {:28} t={:<2} sharded/reuse {ratio:.4}x (fast path)",
+            cell.instance, cell.threads
+        );
+        ratios.push(ratio);
+    }
+    if ratios.is_empty() {
+        return true;
+    }
+    let mean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let over = !smoke && limit.is_some_and(|l| mean > l);
+    println!(
+        "  sharded fast-path geometric mean over {} cell(s): {mean:.4}x{}",
+        ratios.len(),
+        if over { "  OVER BUDGET" } else { "" }
+    );
+    !over
+}
+
+/// (sharded, reuse) cell pairs at the same (instance, threads) whose
+/// instance name passes `pick`, with degenerate timings skipped.
+fn sharded_pairs<'a>(
+    report: &'a [Cell],
+    pick: impl Fn(&str) -> bool + 'a,
+) -> impl Iterator<Item = (&'a Cell, &'a Cell)> {
+    report
+        .iter()
+        .filter(move |c| c.arm == "sharded" && pick(&c.instance))
+        .filter_map(|cell| {
+            let plain = report.iter().find(|c| {
+                c.arm == "reuse" && c.instance == cell.instance && c.threads == cell.threads
+            })?;
+            (cell.median_secs > 0.0 && plain.median_secs > 0.0).then_some((cell, plain))
+        })
 }
 
 /// Prints the `arm`-vs-reuse ratio for every (instance, threads) pair
@@ -460,12 +569,10 @@ pub(crate) fn validate_report(json: &Json) -> Result<Report, String> {
         .ok_or("\"host\" must be an object")?;
     let available_parallelism = get(host, "available_parallelism")?
         .as_f64()
-        .ok_or("host.available_parallelism must be a number")? as u64;
+        .ok_or("host.available_parallelism must be a number")?
+        as u64;
     let rayon_threads = match obj_get_opt(host, "rayon_threads") {
-        Some(v) => Some(
-            v.as_f64()
-                .ok_or("host.rayon_threads must be a number")? as u64,
-        ),
+        Some(v) => Some(v.as_f64().ok_or("host.rayon_threads must be a number")? as u64),
         None if v2 => return Err("v2 reports must carry host.rayon_threads".into()),
         None => None,
     };
@@ -497,12 +604,13 @@ pub(crate) fn validate_report(json: &Json) -> Result<Report, String> {
         let o = r.as_obj().ok_or("result entries must be objects")?;
         let instance = o_str(o, "instance")?;
         let arm = o_str(o, "arm")?;
-        const ARMS: [&str; 7] = [
+        const ARMS: [&str; 8] = [
             "reuse",
             "fresh",
             "observed",
             "budgeted-unarmed",
             "contract-radix",
+            "sharded",
             "batch-warm",
             "batch-cold",
         ];
@@ -922,6 +1030,55 @@ mod tests {
     }
 
     #[test]
+    fn sharded_arm_is_valid_and_gated_by_instance_prefix() {
+        let sharded = GOOD.replace("\"reuse\"", "\"sharded\"");
+        let report = validate_report(&parse_json(&sharded).unwrap()).unwrap();
+        assert_eq!(report.cells[0].arm, "sharded");
+        // A non-null overhead_vs_reuse on a sharded cell is malformed,
+        // same as on reuse: the field belongs to the observed/budgeted
+        // arms alone.
+        let with_overhead = sharded.replace(
+            "\"allocations\": null",
+            "\"allocations\": null, \"overhead_vs_reuse\": 1.01",
+        );
+        assert!(validate_report(&parse_json(&with_overhead).unwrap())
+            .unwrap_err()
+            .contains("only meaningful"));
+        let mk = |instance: &str, arm: &str, median_secs: f64| Cell {
+            instance: instance.into(),
+            threads: 1,
+            arm: arm.into(),
+            median_secs,
+            contract_secs: 0.1,
+            overhead_vs_reuse: None,
+        };
+        // One union cell 1.5x faster, one connected ring cell 0.5% slower.
+        let cells = vec![
+            mk("union-rmat6-sbm300", "reuse", 0.3),
+            mk("union-rmat6-sbm300", "sharded", 0.2),
+            mk("ring-16x8", "reuse", 1.0),
+            mk("ring-16x8", "sharded", 1.005),
+        ];
+        // The speedup gate reads union cells only: 1.5x passes a 1.2 floor,
+        // fails 1.6, and a sub-1.0 floor (slowdown bound) passes too.
+        assert!(sharded_speedup_ok(&cells, None, false));
+        assert!(sharded_speedup_ok(&cells, Some(1.2), false));
+        assert!(!sharded_speedup_ok(&cells, Some(1.6), false));
+        assert!(sharded_speedup_ok(&cells, Some(0.9), false));
+        // The fast-path gate reads the non-union cells only: 1.005x is
+        // inside a 1% budget, outside 0.2%.
+        assert!(sharded_overhead_ok(&cells, None, false));
+        assert!(sharded_overhead_ok(&cells, Some(1.01), false));
+        assert!(!sharded_overhead_ok(&cells, Some(1.002), false));
+        // Smoke never gates; a report with no sharded cells has nothing
+        // to check on either side.
+        assert!(sharded_speedup_ok(&cells, Some(1.6), true));
+        assert!(sharded_overhead_ok(&cells, Some(1.002), true));
+        assert!(sharded_speedup_ok(&cells[2..], Some(1.6), false));
+        assert!(sharded_overhead_ok(&cells[..2], Some(1.002), false));
+    }
+
+    #[test]
     fn rejects_wrong_schema_and_missing_keys() {
         let wrong = GOOD.replace("parcomm-bench-v2", "parcomm-bench-v0");
         assert!(validate_report(&parse_json(&wrong).unwrap())
@@ -939,7 +1096,9 @@ mod tests {
         assert!(validate_report(&parse_json(&bad_arm).unwrap()).is_err());
         for batch_arm in ["batch-warm", "batch-cold"] {
             let batched = GOOD.replace("\"reuse\"", &format!("{batch_arm:?}"));
-            let cells = validate_report(&parse_json(&batched).unwrap()).unwrap().cells;
+            let cells = validate_report(&parse_json(&batched).unwrap())
+                .unwrap()
+                .cells;
             assert_eq!(cells[0].arm, batch_arm);
         }
         let disordered = GOOD.replace("\"median\": 1.0", "\"median\": 2.0");
@@ -951,7 +1110,9 @@ mod tests {
     #[test]
     fn observed_arm_is_valid_and_overhead_is_gated() {
         let observed = GOOD.replace("\"reuse\"", "\"observed\"");
-        let cells = validate_report(&parse_json(&observed).unwrap()).unwrap().cells;
+        let cells = validate_report(&parse_json(&observed).unwrap())
+            .unwrap()
+            .cells;
         assert_eq!(cells[0].arm, "observed");
         let mk = |arm: &str, median_secs: f64| Cell {
             instance: "g".into(),
@@ -973,7 +1134,9 @@ mod tests {
     #[test]
     fn budgeted_unarmed_arm_is_valid_and_gated_independently() {
         let budgeted = GOOD.replace("\"reuse\"", "\"budgeted-unarmed\"");
-        let cells = validate_report(&parse_json(&budgeted).unwrap()).unwrap().cells;
+        let cells = validate_report(&parse_json(&budgeted).unwrap())
+            .unwrap()
+            .cells;
         assert_eq!(cells[0].arm, "budgeted-unarmed");
         let mk = |arm: &str, median_secs: f64| Cell {
             instance: "g".into(),
@@ -1061,7 +1224,9 @@ mod tests {
             "\"allocations\": null",
             "\"allocations\": null, \"overhead_vs_reuse\": 1.01",
         );
-        let cells = validate_report(&parse_json(&with_field).unwrap()).unwrap().cells;
+        let cells = validate_report(&parse_json(&with_field).unwrap())
+            .unwrap()
+            .cells;
         assert_eq!(cells[0].overhead_vs_reuse, Some(1.01));
         // Absent (old reports) and null are both fine...
         assert_eq!(
@@ -1071,7 +1236,9 @@ mod tests {
         // ...and the field is legal on budgeted-unarmed cells too...
         let on_budgeted = with_field.replace("\"observed\"", "\"budgeted-unarmed\"");
         assert_eq!(
-            validate_report(&parse_json(&on_budgeted).unwrap()).unwrap().cells[0]
+            validate_report(&parse_json(&on_budgeted).unwrap())
+                .unwrap()
+                .cells[0]
                 .overhead_vs_reuse,
             Some(1.01)
         );
