@@ -34,14 +34,28 @@
 //! from post-hoc `LevelStats` summation, so they also include the score
 //! phase of the terminal level that stops the loop.
 //!
-//! Schema (`parcomm-bench-v2`; v1 predates the `contract-radix` arm and
-//! the host `rayon_threads` field, and `cargo xtask bench` still loads it
+//! A **quality** section rides every report: fixed-size instances (a
+//! planted-partition SBM with ground truth, an R-MAT-10, a 2000-vertex
+//! LiveJournal-flavoured SBM — deliberately independent of `--scale`, so
+//! the numbers are exact even under `--smoke`) are detected once per
+//! registered matching backend, refined with the repo's own sweeps, and
+//! scored: modularity, coverage, NMI against ground truth where planted,
+//! and the sequential-Louvain reference modularity from `pcd-baseline`.
+//! `cargo xtask bench --min-quality-ratio` gates each backend's
+//! geomean(modularity / reference) and the planted instances' NMI.
+//!
+//! Schema (`parcomm-bench-v3`; v2 predates the `quality` section, v1
+//! additionally predates the `contract-radix` arm and the host
+//! `rayon_threads` field — `cargo xtask bench` still loads both
 //! as a comparison baseline): one top-level object with `schema`,
 //! `label`, `created_unix`, `host` (available parallelism, the global
 //! rayon pool width — pinned at startup to the widest `--threads` entry
 //! via [`pin_global`], recorded as both `rayon_threads` and
 //! `pinned_threads` so reports stop silently describing a 1-core default
-//! pool — and alloc-stats on/off) and
+//! pool — and alloc-stats on/off), `quality` — an array keyed by
+//! (`instance`, `backend`) carrying modularity, coverage, `nmi` (`null`
+//! on instances without planted ground truth), and the sequential
+//! reference modularity — and
 //! `results`, an array of records keyed by (`instance`, `threads`, `arm`)
 //! carrying min/median/max end-to-end seconds, per-kernel phase sums
 //! (score/match/contract), level count, modularity, peak RSS, and — when
@@ -63,12 +77,13 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use pcd_core::{
-    detect_many, try_detect_sharded_observed, Budget, CancelToken, Config, ContractorKind,
-    DetectionResult, Detector, LevelObserver, Tee,
+    detect_many, kernel, refine::refine, try_detect_sharded_observed, Budget, CancelToken, Config,
+    ContractorKind, DetectionResult, Detector, LevelObserver, Matcher as _, Tee,
 };
 use pcd_gen::classic::clique_ring;
 use pcd_gen::{rmat_graph, sbm_graph, RmatParams, SbmParams};
 use pcd_graph::{builder, Graph};
+use pcd_metrics::{coverage, modularity, normalized_mutual_information};
 use pcd_trace::{metrics_json, Registry, TraceObserver};
 use pcd_util::pool::{pin_global, with_threads};
 use pcd_util::timing::{RunStats, Timer};
@@ -184,6 +199,84 @@ struct Record {
     overhead_vs_reuse: Option<f64>,
 }
 
+/// Refinement sweeps applied to every quality cell. The measured pipeline
+/// is detect + refine — the configuration EXPERIMENTS.md reports — because
+/// raw pairwise agglomeration legitimately trails a full Louvain on
+/// R-MAT-style graphs (it merges at most pairs per level) and the
+/// refinement pass is the system's own answer to that gap. The quality
+/// oracle in `tests/quality_oracle.rs` pins the same pipeline.
+const REFINE_SWEEPS: usize = 10;
+
+/// One (quality instance, backend) measurement. `reference_modularity` is
+/// the dependency-free sequential Louvain from `pcd-baseline` on the same
+/// graph; `nmi` is `Some` only on planted instances with ground truth.
+struct QualityCell {
+    instance: String,
+    backend: &'static str,
+    modularity: f64,
+    coverage: f64,
+    nmi: Option<f64>,
+    reference_modularity: f64,
+}
+
+/// Measures every matcher in the kernel registry on the fixed quality
+/// instances. Instance sizes are pinned — deliberately independent of
+/// `--scale`, `--sbm-vertices`, and `--smoke` — so the quality numbers
+/// `cargo xtask bench --min-quality-ratio` gates are exact in every
+/// report, including CI's smoke runs.
+fn measure_quality() -> Vec<QualityCell> {
+    eprintln!("bench_gate: measuring quality cells (fixed-size instances)...");
+    let planted = sbm_graph(&SbmParams::planted_partition(1_024, 16, SEED));
+    let fixtures: [(String, Graph, Option<Vec<VertexId>>); 3] = [
+        (
+            "planted-1024-16".into(),
+            planted.graph,
+            Some(planted.ground_truth),
+        ),
+        (
+            "rmat-10-16".into(),
+            rmat_graph(&RmatParams::paper(10, SEED)),
+            None,
+        ),
+        (
+            "sbm-lj-2000".into(),
+            sbm_graph(&SbmParams::livejournal_like(2_000, SEED + 1)).graph,
+            None,
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (name, g, truth) in &fixtures {
+        let reference_modularity = modularity(g, &pcd_baseline::louvain(g));
+        for m in kernel::MATCHERS {
+            let cfg = Config::default().with_matcher(m.kind());
+            let result = Detector::new(cfg)
+                .expect("quality config is valid")
+                .run(g.clone())
+                .expect("quality instance detects cleanly");
+            let refined = refine(g, &result.assignment, REFINE_SWEEPS);
+            let q = modularity(g, &refined.assignment);
+            let nmi = truth
+                .as_ref()
+                .map(|t| normalized_mutual_information(&refined.assignment, t));
+            eprintln!(
+                "  {name} {}: Q {q:.4} (reference {reference_modularity:.4}, ratio {:.3}){}",
+                m.name(),
+                q / reference_modularity,
+                nmi.map_or(String::new(), |v| format!(", NMI {v:.4}"))
+            );
+            cells.push(QualityCell {
+                instance: name.clone(),
+                backend: m.name(),
+                modularity: q,
+                coverage: coverage(g, &refined.assignment),
+                nmi,
+                reference_modularity,
+            });
+        }
+    }
+    cells
+}
+
 /// Accumulates per-phase seconds through the engine's observer hook.
 #[derive(Default)]
 struct PhaseTimes {
@@ -295,6 +388,8 @@ fn main() -> ExitCode {
         }
     }
 
+    let quality = measure_quality();
+
     // Instance table: the headline graphs, the sharding pair, plus the
     // batch as one entry (vertex/edge totals across its graphs).
     let mut summaries: Vec<(String, usize, usize)> = instances
@@ -309,7 +404,7 @@ fn main() -> ExitCode {
         batch.iter().map(Graph::num_edges).sum(),
     ));
 
-    let json = render(&args, &summaries, &records);
+    let json = render(&args, &summaries, &records, &quality);
     if let Err(e) = std::fs::write(&args.out, json) {
         eprintln!("bench_gate: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;
@@ -701,11 +796,16 @@ fn unix_now() -> u64 {
         .unwrap_or(0)
 }
 
-fn render(args: &Args, instances: &[(String, usize, usize)], records: &[Record]) -> String {
+fn render(
+    args: &Args,
+    instances: &[(String, usize, usize)],
+    records: &[Record],
+    quality: &[QualityCell],
+) -> String {
     let created = unix_now();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"parcomm-bench-v2\",");
+    let _ = writeln!(s, "  \"schema\": \"parcomm-bench-v3\",");
     let _ = writeln!(s, "  \"label\": {},", json_str(&args.label));
     let _ = writeln!(s, "  \"created_unix\": {created},");
     let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
@@ -781,6 +881,23 @@ fn render(args: &Args, instances: &[(String, usize, usize)], records: &[Record])
         );
         s.push_str("    }");
         s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"quality\": [\n");
+    for (i, c) in quality.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"instance\": {},", json_str(&c.instance));
+        let _ = writeln!(s, "      \"backend\": {},", json_str(c.backend));
+        let _ = writeln!(s, "      \"modularity\": {},", json_f64(c.modularity));
+        let _ = writeln!(s, "      \"coverage\": {},", json_f64(c.coverage));
+        let _ = writeln!(s, "      \"nmi\": {},", c.nmi.map_or("null".into(), json_f64));
+        let _ = writeln!(
+            s,
+            "      \"reference_modularity\": {}",
+            json_f64(c.reference_modularity)
+        );
+        s.push_str("    }");
+        s.push_str(if i + 1 < quality.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -27,6 +27,14 @@ pub enum MatcherKind {
     EdgeSweep,
     /// Sequential greedy (oracle / single-thread reference).
     Sequential,
+    /// Synchronous label propagation guiding an unmatched-list matching:
+    /// labels converge (or hit the watchdog round cap) and the matcher
+    /// then prefers intra-label edges.
+    LabelProp,
+    /// Louvain-style synchronous move phase guiding an unmatched-list
+    /// matching: parallel best-neighbor moves with deterministic
+    /// tie-breaking and sequential conflict-free commits.
+    LouvainMove,
 }
 
 /// Which contraction kernel builds the next community graph.

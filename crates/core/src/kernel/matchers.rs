@@ -2,8 +2,11 @@
 
 use super::Matcher;
 use crate::config::MatcherKind;
+use crate::louvain::synchronous_move_phase;
 use pcd_graph::Graph;
-use pcd_matching::{edge_sweep, parallel, seq, MatchOutcome, MatchScratch};
+use pcd_matching::{
+    edge_sweep, labelprop, match_within_labels, parallel, seq, MatchOutcome, MatchScratch,
+};
 
 /// The paper's improved unmatched-vertex-list matching (§IV-B). The only
 /// kernel governed by the watchdog `round_cap`; on expiry it degrades to
@@ -90,6 +93,68 @@ impl Matcher for SequentialGreedy {
     }
 }
 
+/// Synchronous label propagation guiding the unmatched-list matching.
+/// The watchdog `round_cap` bounds the propagation rounds; expiry before
+/// convergence reports `degraded: true` through the usual channel.
+pub struct LabelProp;
+
+impl Matcher for LabelProp {
+    fn kind(&self) -> MatcherKind {
+        MatcherKind::LabelProp
+    }
+    fn name(&self) -> &'static str {
+        "labelprop"
+    }
+    fn description(&self) -> &'static str {
+        "synchronous label propagation guiding an intra-label-first maximal matching"
+    }
+    fn match_level(
+        &self,
+        g: &Graph,
+        scores: &[f64],
+        round_cap: usize,
+        scratch: &mut MatchScratch,
+    ) -> MatchOutcome {
+        labelprop::match_labelprop_scratch(g, scores, round_cap, scratch)
+    }
+}
+
+/// Louvain-style synchronous move phase guiding the unmatched-list
+/// matching. The watchdog `round_cap` bounds the sweeps; expiry before
+/// convergence reports `degraded: true`.
+pub struct MoveMatcher;
+
+impl Matcher for MoveMatcher {
+    fn kind(&self) -> MatcherKind {
+        MatcherKind::LouvainMove
+    }
+    fn name(&self) -> &'static str {
+        "louvain"
+    }
+    fn description(&self) -> &'static str {
+        "synchronous Louvain move phase guiding an intra-label-first maximal matching"
+    }
+    fn match_level(
+        &self,
+        g: &Graph,
+        scores: &[f64],
+        round_cap: usize,
+        scratch: &mut MatchScratch,
+    ) -> MatchOutcome {
+        let mut ls = scratch.take_label();
+        let stats = synchronous_move_phase(g, round_cap, &mut ls);
+        let mut boosted = std::mem::take(&mut ls.boosted);
+        let inner = match_within_labels(g, scores, &ls.labels, &mut boosted, scratch);
+        ls.boosted = boosted;
+        scratch.put_label(ls);
+        MatchOutcome {
+            matching: inner.matching,
+            rounds: stats.sweeps,
+            degraded: !stats.converged || inner.degraded,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +187,40 @@ mod tests {
         assert_eq!(via_trait.matching.mates(), direct.mates());
         assert_eq!(via_trait.rounds, 1);
         assert!(!via_trait.degraded);
+
+        let via_trait = LabelProp.match_level(&g, &scores, 1000, &mut scratch);
+        let mut scratch3 = MatchScratch::new();
+        let direct = labelprop::match_labelprop_scratch(&g, &scores, 1000, &mut scratch3);
+        assert_eq!(via_trait, direct);
+
+        let via_trait = MoveMatcher.match_level(&g, &scores, 1000, &mut scratch);
+        let mut ls = pcd_matching::LabelScratch::new();
+        let stats = synchronous_move_phase(&g, 1000, &mut ls);
+        let mut boosted = Vec::new();
+        let mut scratch4 = MatchScratch::new();
+        let direct = match_within_labels(&g, &scores, &ls.labels, &mut boosted, &mut scratch4);
+        assert_eq!(via_trait.matching, direct.matching);
+        assert_eq!(via_trait.rounds, stats.sweeps);
+        assert!(!via_trait.degraded);
+    }
+
+    /// The label-driven wrappers must satisfy the engine's per-level
+    /// debug assertion: a valid maximal matching over the *real* scores.
+    #[test]
+    fn label_driven_matchers_verify_against_real_scores() {
+        let g = pcd_gen::rmat_graph(&pcd_gen::RmatParams::paper(8, 19));
+        let ctx = ScoreContext::new(&g);
+        let mut scores = Vec::new();
+        score_all_into(ScorerKind::Modularity, &g, &ctx, &mut scores);
+        for matcher in [&LabelProp as &dyn Matcher, &MoveMatcher] {
+            let mut scratch = MatchScratch::new();
+            let out = matcher.match_level(&g, &scores, 1000, &mut scratch);
+            assert_eq!(
+                pcd_matching::verify::verify_matching(&g, &scores, &out.matching),
+                Ok(()),
+                "{} emitted an invalid matching",
+                matcher.name()
+            );
+        }
     }
 }

@@ -109,10 +109,12 @@ pub static SCORERS: [&dyn Scorer; 3] = [
 ];
 
 /// All registered matchers, in listing order.
-pub static MATCHERS: [&dyn Matcher; 3] = [
+pub static MATCHERS: [&dyn Matcher; 5] = [
     &matchers::UnmatchedList,
     &matchers::EdgeSweep,
     &matchers::SequentialGreedy,
+    &matchers::LabelProp,
+    &matchers::MoveMatcher,
 ];
 
 /// All registered contractors, in listing order.
@@ -249,6 +251,8 @@ mod tests {
             MatcherKind::UnmatchedList,
             MatcherKind::EdgeSweep,
             MatcherKind::Sequential,
+            MatcherKind::LabelProp,
+            MatcherKind::LouvainMove,
         ] {
             assert_eq!(matcher_for(kind).kind(), kind);
         }

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod fault;
 pub mod follow;
 pub mod kernel;
+pub mod louvain;
 pub mod multilevel;
 pub mod observer;
 pub mod refine;
@@ -53,6 +54,7 @@ pub use engine::{detect_many, detect_many_outcomes, Detector};
 pub use fault::FaultPlan;
 pub use follow::{follow_map_into, FollowScratch};
 pub use kernel::{Contractor, KernelSet, Matcher, Scorer};
+pub use louvain::{synchronous_move_phase, MoveStats};
 pub use multilevel::{detect_multilevel, refine_multilevel, MultilevelOutcome};
 pub use observer::{LevelObserver, NoopObserver, Tee};
 pub use pcd_util::sync::CancelToken;

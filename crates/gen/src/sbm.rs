@@ -79,6 +79,24 @@ impl SbmParams {
             seed,
         }
     }
+
+    /// Easy planted partition for quality oracles: `communities`
+    /// equal-sized blocks (min = max community size, so the Pareto draw
+    /// degenerates to a constant) with a strong internal/external degree
+    /// contrast that any reasonable detector recovers near-perfectly.
+    pub fn planted_partition(num_vertices: usize, communities: usize, seed: u64) -> Self {
+        assert!(communities >= 1 && num_vertices >= 2 * communities);
+        let size = num_vertices.div_ceil(communities).max(2);
+        SbmParams {
+            num_vertices,
+            min_community: size,
+            max_community: size,
+            size_exponent: 1.0,
+            internal_degree: 16.0,
+            external_degree: 1.0,
+            seed,
+        }
+    }
 }
 
 /// A generated planted-partition graph plus its ground truth.

@@ -29,10 +29,12 @@
 
 pub mod brute;
 pub mod edge_sweep;
+pub mod labelprop;
 pub mod parallel;
 pub mod seq;
 pub mod verify;
 
+pub use labelprop::{match_labelprop_scratch, match_within_labels, propagate_labels, LabelScratch};
 pub use parallel::{
     match_unmatched_list, match_unmatched_list_capped, match_unmatched_list_scratch, MatchScratch,
 };

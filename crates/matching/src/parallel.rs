@@ -23,6 +23,7 @@
 //! sequential greedy. The number of rounds is small on social networks
 //! (the paper: "effectively O(|E|)" total work).
 
+use crate::labelprop::LabelScratch;
 use crate::{edge_beats, MatchOutcome, Matching};
 use pcd_graph::Graph;
 use pcd_util::scan::Compactor;
@@ -53,6 +54,7 @@ pub struct MatchScratch {
     keep: Vec<bool>,
     candidates: Vec<usize>,
     compactor: Compactor,
+    label: LabelScratch,
 }
 
 impl MatchScratch {
@@ -69,6 +71,19 @@ impl MatchScratch {
         self.edges = edges;
     }
 
+    /// Moves the label sub-scratch out, leaving an empty one behind, so a
+    /// label-driven matcher can borrow its buffers while the rest of the
+    /// scratch runs the inner unmatched-list matching. Pair with
+    /// [`MatchScratch::put_label`] to retain the capacity.
+    pub fn take_label(&mut self) -> LabelScratch {
+        std::mem::take(&mut self.label)
+    }
+
+    /// Returns a label sub-scratch taken with [`MatchScratch::take_label`].
+    pub fn put_label(&mut self, label: LabelScratch) {
+        self.label = label;
+    }
+
     /// Heap bytes retained by this scratch (capacity, not length) — summed
     /// into the engine's scratch-memory ceiling ledger.
     pub fn scratch_bytes(&self) -> usize {
@@ -83,6 +98,7 @@ impl MatchScratch {
             + self.keep.capacity() * size_of::<bool>()
             + self.candidates.capacity() * size_of::<usize>()
             + self.compactor.scratch_bytes()
+            + self.label.scratch_bytes()
     }
 }
 

@@ -21,10 +21,10 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: parcomm <command> [options]
-       parcomm --list-kernels    enumerate registered kernel backends
+       parcomm --list-kernels [--json]   enumerate registered kernel backends
 
 commands:
-  gen <rmat|sbm|web|lfr|clique-ring|karate> [options] -o <file>
+  gen <rmat|sbm|planted|web|lfr|clique-ring|karate> [options] -o <file>
                                 generate a graph
   detect <graph-file> [options] run community detection
   stats <graph-file>            structural statistics
@@ -35,7 +35,9 @@ commands:
 
 gen options:
   --scale N        R-MAT scale (rmat; default 14)
-  --vertices N     vertex count (sbm / web / lfr)
+  --vertices N     vertex count (sbm / planted / web / lfr)
+  --communities K  planted community count (planted; default 16)
+  --truth FILE     also write the planted ground-truth labels (planted)
   --cliques K --size S   ring of K cliques of S vertices (clique-ring)
   --mixing F       LFR mixing parameter (default 0.2)
   --seed N         RNG seed (default 42)
@@ -43,6 +45,7 @@ gen options:
 
 detect options:
   --scorer modularity|conductance|heavy
+  --matcher NAME   matching kernel (see --list-kernels; default unmatched-list)
   --contractor NAME  contraction kernel (see --list-kernels; default bucket)
   --sharded        detect each connected component independently (warm
                    engines across the pool) and merge deterministically;
@@ -94,8 +97,27 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.first().map(String::as_str) == Some("--list-kernels") {
-        print_kernels();
-        return ExitCode::SUCCESS;
+        // Strict parse: the only argument accepted after the flag is an
+        // optional `--json`; anything else is a usage error (exit 2), so
+        // scripts never silently get the human format they didn't ask for.
+        return match &args[1..] {
+            [] => {
+                print_kernels();
+                ExitCode::SUCCESS
+            }
+            [flag] if flag == "--json" => {
+                print_kernels_json();
+                ExitCode::SUCCESS
+            }
+            rest => {
+                eprintln!(
+                    "error: --list-kernels takes at most `--json`, got '{}'",
+                    rest.join(" ")
+                );
+                eprintln!("run parcomm --help for usage");
+                ExitCode::from(2)
+            }
+        };
     }
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
@@ -157,6 +179,51 @@ fn print_kernels() {
     for c in kernel::CONTRACTORS {
         println!("  {:<18} {}", c.name(), c.description());
     }
+}
+
+/// `parcomm --list-kernels --json`: the same inventory as a single JSON
+/// object `{"scorers": [{"name", "description"}, ...], "matchers": ...,
+/// "contractors": ...}`, for scripts (the CI quality-smoke job iterates
+/// the matcher list). Registry names and descriptions are static ASCII
+/// without quotes or backslashes — asserted here so the hand-rolled
+/// serialization stays honest.
+fn print_kernels_json() {
+    fn arr(out: &mut String, key: &str, entries: &[(&str, &str)]) {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (i, (name, desc)) in entries.iter().enumerate() {
+            for s in [name, desc] {
+                assert!(
+                    !s.contains(['"', '\\']) && s.is_ascii(),
+                    "kernel registry strings must be plain ASCII"
+                );
+            }
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"description\": \"{desc}\"}}{comma}\n"
+            ));
+        }
+        out.push_str("  ]");
+    }
+    let mut out = String::from("{\n");
+    let scorers: Vec<(&str, &str)> = kernel::SCORERS
+        .iter()
+        .map(|s| (s.name(), s.description()))
+        .collect();
+    let matchers: Vec<(&str, &str)> = kernel::MATCHERS
+        .iter()
+        .map(|m| (m.name(), m.description()))
+        .collect();
+    let contractors: Vec<(&str, &str)> = kernel::CONTRACTORS
+        .iter()
+        .map(|c| (c.name(), c.description()))
+        .collect();
+    arr(&mut out, "scorers", &scorers);
+    out.push_str(",\n");
+    arr(&mut out, "matchers", &matchers);
+    out.push_str(",\n");
+    arr(&mut out, "contractors", &contractors);
+    out.push_str("\n}");
+    println!("{out}");
 }
 
 /// Flags that take no value (presence-only switches). Everything else in
@@ -286,6 +353,8 @@ fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
             "--cliques",
             "--size",
             "--mixing",
+            "--communities",
+            "--truth",
             "--threads",
         ],
     )?;
@@ -301,34 +370,70 @@ fn cmd_gen(args: &[String]) -> Result<(), PcdError> {
     let seed: u64 = f.parse("--seed", 42)?;
     let threads: usize = f.parse("--threads", 0)?;
     let f = &f;
-    let graph = with_pool(threads, move || -> Result<Graph, PcdError> {
+    type GenOut = (Graph, Option<Vec<u32>>);
+    let (graph, truth) = with_pool(threads, move || -> Result<GenOut, PcdError> {
         Ok(match kind.as_str() {
             "rmat" => {
                 let scale: u32 = f.parse("--scale", 14)?;
-                parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(scale, seed))
+                (
+                    parcomm::gen::rmat_graph(&parcomm::gen::RmatParams::paper(scale, seed)),
+                    None,
+                )
             }
             "sbm" => {
                 let n: usize = f.parse("--vertices", 100_000)?;
-                parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(n, seed)).graph
+                (
+                    parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::livejournal_like(n, seed))
+                        .graph,
+                    None,
+                )
+            }
+            "planted" => {
+                let n: usize = f.parse("--vertices", 1_024)?;
+                let k: usize = f.parse("--communities", 16)?;
+                if k == 0 || n < 2 * k {
+                    return Err(usage(format!(
+                        "planted: need --communities >= 1 and --vertices >= 2*communities \
+                         (got {n} vertices, {k} communities)"
+                    )));
+                }
+                let s = parcomm::gen::sbm_graph(&parcomm::gen::SbmParams::planted_partition(
+                    n, k, seed,
+                ));
+                (s.graph, Some(s.ground_truth))
             }
             "web" => {
                 let n: usize = f.parse("--vertices", 100_000)?;
-                parcomm::gen::web_graph(&parcomm::gen::WebParams::uk_like(n, seed)).graph
+                (
+                    parcomm::gen::web_graph(&parcomm::gen::WebParams::uk_like(n, seed)).graph,
+                    None,
+                )
             }
             "clique-ring" => {
                 let k: usize = f.parse("--cliques", 8)?;
                 let s: usize = f.parse("--size", 8)?;
-                parcomm::gen::classic::clique_ring(k, s)
+                (parcomm::gen::classic::clique_ring(k, s), None)
             }
-            "karate" => parcomm::gen::classic::karate_club(),
+            "karate" => (parcomm::gen::classic::karate_club(), None),
             "lfr" => {
                 let n: usize = f.parse("--vertices", 10_000)?;
                 let mu: f64 = f.parse("--mixing", 0.2)?;
-                parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(n, mu, seed)).graph
+                (
+                    parcomm::gen::lfr_graph(&parcomm::gen::LfrParams::benchmark(n, mu, seed)).graph,
+                    None,
+                )
             }
             other => return Err(usage(format!("gen: unknown kind '{other}'"))),
         })
     })?;
+    if let Some(path) = f.get("--truth") {
+        let labels = truth.ok_or_else(|| usage("--truth is only meaningful for gen planted"))?;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for (v, &c) in labels.iter().enumerate() {
+            writeln!(w, "{v} {c}")?;
+        }
+        println!("truth:        {path}");
+    }
     parcomm::graph::io::save(&graph, &out).map_err(PcdError::from)?;
     println!(
         "wrote {} ({} vertices, {} edges)",
@@ -376,6 +481,7 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
         "detect",
         &[
             "--scorer",
+            "--matcher",
             "--contractor",
             "--sharded",
             "--vertex-following",
@@ -405,6 +511,16 @@ fn cmd_detect(args: &[String]) -> Result<(), PcdError> {
         "conductance" => config = config.with_scorer(ScorerKind::Conductance),
         "heavy" => config = config.with_scorer(ScorerKind::HeavyEdge),
         other => return Err(usage(format!("unknown scorer '{other}'"))),
+    }
+    if let Some(name) = f.get("--matcher") {
+        let m = kernel::matcher_by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = kernel::MATCHERS.iter().map(|m| m.name()).collect();
+            usage(format!(
+                "unknown matcher '{name}' (known: {})",
+                known.join(", ")
+            ))
+        })?;
+        config = config.with_matcher(m.kind());
     }
     if let Some(name) = f.get("--contractor") {
         let c = kernel::contractor_by_name(name).ok_or_else(|| {

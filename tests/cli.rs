@@ -129,8 +129,11 @@ fn list_kernels_enumerates_the_registry() {
         "unmatched-list",
         "edge-sweep",
         "sequential",
+        "labelprop",
+        "louvain",
         "bucket",
         "bucket-fetch-add",
+        "radix",
         "linked",
     ] {
         assert!(stdout.contains(name), "missing kernel {name}: {stdout}");
@@ -147,6 +150,178 @@ fn list_kernels_enumerates_the_registry() {
             "kernel without description: {line:?}"
         );
     }
+}
+
+#[test]
+fn list_kernels_json_inventories_the_registry() {
+    let out = bin().args(["--list-kernels", "--json"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"scorers\":", "\"matchers\":", "\"contractors\":"] {
+        assert!(stdout.contains(key), "missing {key}: {stdout}");
+    }
+    // The full registry inventory, spelled exactly as the detect flags
+    // accept them.
+    for name in [
+        "modularity",
+        "conductance",
+        "heavy",
+        "unmatched-list",
+        "edge-sweep",
+        "sequential",
+        "labelprop",
+        "louvain",
+        "bucket",
+        "bucket-fetch-add",
+        "radix",
+        "linked",
+    ] {
+        assert!(
+            stdout.contains(&format!("{{\"name\": \"{name}\", \"description\": \"")),
+            "missing kernel entry {name}: {stdout}"
+        );
+    }
+    // Every entry line carries both fields.
+    let entries = stdout.matches("\"name\": ").count();
+    assert_eq!(entries, stdout.matches("\"description\": ").count());
+    assert!(entries >= 13, "expected full registry, got {entries} entries");
+}
+
+#[test]
+fn list_kernels_parses_strictly() {
+    // The only argument accepted after --list-kernels is `--json`;
+    // anything else is a usage error (exit 2), never silently ignored.
+    for extra in [
+        &["--jsn"][..],
+        &["--json", "extra"][..],
+        &["extra"][..],
+        &["--json", "--json"][..],
+    ] {
+        let out = bin().arg("--list-kernels").args(extra).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{extra:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--list-kernels"),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn detect_matcher_flag_selects_registry_backends() {
+    let dir = tmpdir("matcher-flag");
+    let graph = dir.join("planted.bin");
+    assert!(bin()
+        .args(["gen", "planted", "--vertices", "512", "--communities", "8", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    // Every registered matcher drives a full detect run; the planted
+    // partition is easy (the quality oracle holds every backend to
+    // NMI >= 0.9 on this family), so all backends recover exactly the 8
+    // planted blocks. A clique ring would NOT work here: modularity's
+    // resolution limit makes merging adjacent small cliques optimal, so
+    // the "obvious" per-clique count is not what any backend returns.
+    for name in [
+        "unmatched-list",
+        "edge-sweep",
+        "sequential",
+        "labelprop",
+        "louvain",
+    ] {
+        let out = bin()
+            .arg("detect")
+            .arg(&graph)
+            .args(["--matcher", name])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--matcher {name}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("communities:  8"), "--matcher {name}: {stdout}");
+    }
+    // Unknown names are a usage error that lists the registry.
+    let out = bin()
+        .arg("detect")
+        .arg(&graph)
+        .args(["--matcher", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown matcher 'nope'"), "{stderr}");
+    assert!(stderr.contains("labelprop"), "{stderr}");
+    assert!(stderr.contains("louvain"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_planted_writes_graph_and_ground_truth() {
+    let dir = tmpdir("gen-planted");
+    let graph = dir.join("planted.bin");
+    let truth = dir.join("planted.truth");
+    let out = bin()
+        .args(["gen", "planted", "--vertices", "512", "--communities", "8"])
+        .arg("--truth")
+        .arg(&truth)
+        .arg("-o")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("512 vertices"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // Truth file: one "vertex label" line per vertex, 8 distinct labels.
+    let lines = std::fs::read_to_string(&truth).unwrap();
+    assert_eq!(lines.lines().count(), 512);
+    let labels: std::collections::HashSet<&str> = lines
+        .lines()
+        .map(|l| l.split_whitespace().nth(1).unwrap())
+        .collect();
+    assert_eq!(labels.len(), 8, "{labels:?}");
+
+    // The planted structure is easy: detect recovers the block count.
+    let out = bin().arg("detect").arg(&graph).output().unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("communities:  8"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // --truth outside gen planted is a usage error.
+    let out = bin()
+        .args(["gen", "karate", "--truth"])
+        .arg(&truth)
+        .arg("-o")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Degenerate planted parameters are rejected, not asserted on.
+    let out = bin()
+        .args(["gen", "planted", "--vertices", "4", "--communities", "8", "-o"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -13,10 +13,12 @@ const SCORERS: [ScorerKind; 3] = [
     ScorerKind::Conductance,
     ScorerKind::HeavyEdge,
 ];
-const MATCHERS: [MatcherKind; 3] = [
+const MATCHERS: [MatcherKind; 5] = [
     MatcherKind::UnmatchedList,
     MatcherKind::EdgeSweep,
     MatcherKind::Sequential,
+    MatcherKind::LabelProp,
+    MatcherKind::LouvainMove,
 ];
 const CONTRACTORS: [ContractorKind; 5] = [
     ContractorKind::Bucket,

@@ -26,12 +26,22 @@ fn test_graph() -> Graph {
 /// connected, so that axis proves the sharded fast path propagates the
 /// same structured errors as the plain path; the multi-component case is
 /// covered explicitly below.
+///
+/// A third axis, `PARCOMM_TEST_MATCHER=<name>` (any `--list-kernels`
+/// spelling, e.g. `labelprop`), swaps the matching kernel the same way —
+/// the guards also sit outside the matchers, so every matching backend
+/// must surface the same faults identically.
 fn base_config() -> Config {
     let mut cfg = Config::default();
     if let Ok(name) = std::env::var("PARCOMM_TEST_CONTRACTOR") {
         let c = parcomm::core::kernel::contractor_by_name(&name)
             .unwrap_or_else(|| panic!("PARCOMM_TEST_CONTRACTOR: unknown contractor '{name}'"));
         cfg = cfg.with_contractor(c.kind());
+    }
+    if let Ok(name) = std::env::var("PARCOMM_TEST_MATCHER") {
+        let m = parcomm::core::kernel::matcher_by_name(&name)
+            .unwrap_or_else(|| panic!("PARCOMM_TEST_MATCHER: unknown matcher '{name}'"));
+        cfg = cfg.with_matcher(m.kind());
     }
     if std::env::var("PARCOMM_TEST_SHARDED").as_deref() == Ok("1") {
         cfg = cfg.with_sharding(true);

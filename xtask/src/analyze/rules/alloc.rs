@@ -29,8 +29,10 @@ pub(crate) const HOT_FILES: &[&str] = &[
     "crates/contract/src/bucket.rs",
     "crates/contract/src/radix.rs",
     "crates/core/src/follow.rs",
+    "crates/core/src/louvain.rs",
     "crates/core/src/scorer.rs",
     "crates/matching/src/edge_sweep.rs",
+    "crates/matching/src/labelprop.rs",
     "crates/matching/src/parallel.rs",
 ];
 

@@ -1,14 +1,22 @@
 //! `cargo xtask bench` — the JSON benchmark gate.
 //!
 //! Drives `bench_gate` (crates/bench/src/bin/bench_gate.rs), validates the
-//! emitted `parcomm-bench-v2` report against the expected schema (v1
-//! reports, which predate the `contract-radix` arm and the host
+//! emitted `parcomm-bench-v3` report against the expected schema (v2
+//! reports, which predate the `quality` section, and v1 reports, which
+//! additionally predate the `contract-radix` arm and the host
 //! `rayon_threads` field, still load as comparison baselines), and
 //! compares it with the previous checked-in `BENCH_*.json`: any
 //! (instance, threads, arm) cell whose median end-to-end time regressed by
 //! more than the configured threshold fails the gate. Comparing reports
 //! taken at different thread widths prints a loud warning — those
 //! medians measure different machines.
+//!
+//! `--min-quality-ratio` gates the report's `quality` section: per
+//! matching backend, the geometric mean of modularity over the sequential
+//! Louvain reference must clear the floor, and every cell with planted
+//! ground truth must clear the NMI floor. Quality cells are measured on
+//! fixed-size instances and are deterministic, so — unlike every timing
+//! gate — this one is **not** smoke-exempt.
 //!
 //! Like the lint gate, this module is dependency-free: the JSON reader is
 //! a small recursive-descent parser covering exactly the JSON the harness
@@ -31,6 +39,7 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     let mut min_contract_speedup: Option<f64> = None;
     let mut min_sharded_speedup: Option<f64> = None;
     let mut max_sharded_overhead: Option<f64> = None;
+    let mut min_quality_ratio: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut forward: Vec<String> = Vec::new();
@@ -87,6 +96,13 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
                             .map_err(|_| "bad --max-sharded-overhead".to_string())?,
                     );
                 }
+                "--min-quality-ratio" => {
+                    min_quality_ratio = Some(
+                        val("--min-quality-ratio")?
+                            .parse()
+                            .map_err(|_| "bad --min-quality-ratio".to_string())?,
+                    );
+                }
                 "--out" => out = Some(val("--out")?),
                 "--baseline" => baseline = Some(val("--baseline")?),
                 // Pass instance-shape flags straight through to bench_gate.
@@ -131,6 +147,13 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
     }
     if max_sharded_overhead.is_some_and(|l| l < 1.0) {
         eprintln!("xtask bench: --max-sharded-overhead is a ratio >= 1.0 (e.g. 1.01 allows +1%)");
+        return ExitCode::FAILURE;
+    }
+    if min_quality_ratio.is_some_and(|l| l <= 0.0) {
+        eprintln!(
+            "xtask bench: --min-quality-ratio is a positive ratio (e.g. 0.95 demands 95% \
+             of the sequential reference modularity)"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -185,9 +208,16 @@ pub(crate) fn run(args: &[String]) -> ExitCode {
         eprintln!("xtask bench: sharded fast path exceeds --max-sharded-overhead");
         return ExitCode::FAILURE;
     }
+    // Quality gates before the smoke early-return on purpose: the quality
+    // cells are deterministic fixed-size measurements, so they carry full
+    // signal even on a cold CI runner at tiny timing scale.
+    if !quality_ok(&report.quality, min_quality_ratio) {
+        eprintln!("xtask bench: a backend falls short of --min-quality-ratio");
+        return ExitCode::FAILURE;
+    }
     if smoke {
-        // Smoke mode gates schema and plumbing only; timings on a cold CI
-        // runner at tiny scale carry no signal worth failing on.
+        // Smoke mode gates schema, plumbing, and quality only; timings on
+        // a cold CI runner at tiny scale carry no signal worth failing on.
         return ExitCode::SUCCESS;
     }
 
@@ -243,7 +273,7 @@ fn usage() {
          [--threshold 1.15] [--max-observed-overhead 1.02] \
          [--max-budget-overhead 1.01] [--min-contract-speedup 1.2] \
          [--min-sharded-speedup 1.1] [--max-sharded-overhead 1.01] \
-         [--out FILE] \
+         [--min-quality-ratio 0.95] [--out FILE] \
          [--baseline FILE] [--scale N] [--sbm-vertices N] [--threads 1,2,8] \
          [--runs N] [--label L]"
     );
@@ -377,6 +407,67 @@ fn sharded_overhead_ok(report: &[Cell], limit: Option<f64>, smoke: bool) -> bool
         if over { "  OVER BUDGET" } else { "" }
     );
     !over
+}
+
+/// NMI floor on quality cells with planted ground truth when
+/// `--min-quality-ratio` is set: the ground truth is known and easy, so
+/// every backend must recover it near-perfectly.
+const QUALITY_NMI_FLOOR: f64 = 0.9;
+
+/// Prints every quality cell's modularity ratio against the sequential
+/// Louvain reference and gates, per matching backend, the geometric mean
+/// of those ratios against `limit` (a floor). Cells carrying planted
+/// ground truth additionally must clear [`QUALITY_NMI_FLOOR`] NMI.
+/// Pooled per backend because the fixed instances are replicate probes
+/// of one backend's quality; pooling across backends would let a strong
+/// one mask a broken one. Unlike the timing gates, quality cells are
+/// deterministic fixed-size measurements, so smoke mode does **not**
+/// exempt them. A report with no quality section (a v1/v2 baseline)
+/// fails when the flag asks for the gate: there is nothing to certify.
+fn quality_ok(quality: &[QualityCell], limit: Option<f64>) -> bool {
+    if quality.is_empty() {
+        if limit.is_some() {
+            eprintln!(
+                "xtask bench: --min-quality-ratio set but the report carries no quality cells"
+            );
+            return false;
+        }
+        return true;
+    }
+    let mut backends: Vec<&str> = Vec::new();
+    for c in quality {
+        if !backends.contains(&c.backend.as_str()) {
+            backends.push(&c.backend);
+        }
+    }
+    let mut ok = true;
+    for backend in backends {
+        let mut ratios = Vec::new();
+        for c in quality.iter().filter(|c| c.backend == backend) {
+            let ratio = c.modularity / c.reference_modularity;
+            let nmi_bad = limit.is_some() && c.nmi.is_some_and(|n| n < QUALITY_NMI_FLOOR);
+            println!(
+                "  {:18} {:16} Q/ref {ratio:.3} (Q {:.4}, ref {:.4}){}{}",
+                c.instance,
+                backend,
+                c.modularity,
+                c.reference_modularity,
+                c.nmi.map_or(String::new(), |n| format!("  NMI {n:.3}")),
+                if nmi_bad { "  UNDER NMI FLOOR" } else { "" }
+            );
+            ok &= !nmi_bad;
+            ratios.push(ratio);
+        }
+        let mean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        let under = limit.is_some_and(|l| mean < l);
+        println!(
+            "  {backend}: quality ratio geometric mean over {} cell(s): {mean:.3}{}",
+            ratios.len(),
+            if under { "  UNDER TARGET" } else { "" }
+        );
+        ok &= !under;
+    }
+    ok
 }
 
 /// (sharded, reuse) cell pairs at the same (instance, threads) whose
@@ -525,11 +616,28 @@ impl Cell {
     }
 }
 
+/// One (quality instance, backend) measurement from the report's
+/// `quality` section — what `--min-quality-ratio` gates.
+#[derive(Debug, PartialEq)]
+pub(crate) struct QualityCell {
+    pub instance: String,
+    pub backend: String,
+    /// Modularity of the backend's detect + refine pipeline on the
+    /// original graph.
+    pub modularity: f64,
+    /// NMI against planted ground truth; `None` on instances without one.
+    pub nmi: Option<f64>,
+    /// Sequential Louvain reference modularity on the same graph.
+    pub reference_modularity: f64,
+}
+
 /// A validated report: its result cells plus the host thread environment
 /// (what the thread-mismatch warning compares).
 #[derive(Debug)]
 pub(crate) struct Report {
     pub cells: Vec<Cell>,
+    /// Quality cells; empty in v1/v2 reports, which predate the section.
+    pub quality: Vec<QualityCell>,
     pub available_parallelism: u64,
     /// Default rayon pool width. `None` in v1 reports, which predate the
     /// field.
@@ -543,21 +651,24 @@ pub(crate) fn load_report(path: &Path) -> Result<Report, String> {
     validate_report(&json)
 }
 
-/// Validates the `parcomm-bench-v2` shape (v1 accepted for baselines)
+/// Validates the `parcomm-bench-v3` shape (v1/v2 accepted for baselines)
 /// and extracts the cells plus host thread environment.
 pub(crate) fn validate_report(json: &Json) -> Result<Report, String> {
     let top = json.as_obj().ok_or("top level must be an object")?;
     let schema = get(top, "schema")?
         .as_str()
         .ok_or("\"schema\" must be a string")?;
-    let v2 = match schema {
-        "parcomm-bench-v2" => true,
-        // v1 reports predate the contract-radix arm and host.rayon_threads;
-        // they stay loadable so previous PRs' BENCH_*.json work as
-        // comparison baselines.
-        "parcomm-bench-v1" => false,
+    let version = match schema {
+        "parcomm-bench-v3" => 3,
+        // v2 reports predate the quality section; v1 additionally
+        // predates the contract-radix arm and host.rayon_threads. Both
+        // stay loadable so previous PRs' BENCH_*.json work as comparison
+        // baselines.
+        "parcomm-bench-v2" => 2,
+        "parcomm-bench-v1" => 1,
         _ => return Err(format!("unknown schema {schema:?}")),
     };
+    let v2 = version >= 2;
     get(top, "label")?
         .as_str()
         .ok_or("\"label\" must be a string")?;
@@ -673,8 +784,45 @@ pub(crate) fn validate_report(json: &Json) -> Result<Report, String> {
             overhead_vs_reuse,
         });
     }
+    let mut quality = Vec::new();
+    match obj_get_opt(top, "quality") {
+        None if version >= 3 => return Err("v3 reports must carry a \"quality\" array".into()),
+        None => {}
+        Some(v) => {
+            let arr = v.as_arr().ok_or("\"quality\" must be an array")?;
+            if arr.is_empty() && version >= 3 {
+                return Err("\"quality\" is empty".into());
+            }
+            for q in arr {
+                let o = q.as_obj().ok_or("quality entries must be objects")?;
+                let instance = o_str(o, "instance")?;
+                let backend = o_str(o, "backend")?;
+                let modularity = o_num(o, "modularity")?;
+                o_num(o, "coverage")?;
+                let reference_modularity = o_num(o, "reference_modularity")?;
+                if reference_modularity <= 0.0 {
+                    return Err(format!(
+                        "quality.reference_modularity must be positive, got \
+                         {reference_modularity} for {instance} {backend}"
+                    ));
+                }
+                let nmi = match get(o, "nmi")? {
+                    Json::Null => None,
+                    v => Some(v.as_f64().ok_or("quality.nmi must be a number or null")?),
+                };
+                quality.push(QualityCell {
+                    instance,
+                    backend,
+                    modularity,
+                    nmi,
+                    reference_modularity,
+                });
+            }
+        }
+    }
     Ok(Report {
         cells,
+        quality,
         available_parallelism,
         rayon_threads,
     })
@@ -927,6 +1075,28 @@ mod tests {
       }]
     }"#;
 
+    /// The v3 edition of [`GOOD`]: same results, plus the quality section
+    /// v3 requires.
+    const GOOD_V3: &str = r#"{
+      "schema": "parcomm-bench-v3", "label": "t", "created_unix": 1, "smoke": true,
+      "host": {"available_parallelism": 4, "rayon_threads": 4, "alloc_stats": false},
+      "instances": [{"name": "rmat-8-16", "vertices": 256, "edges": 1000}],
+      "results": [{
+        "instance": "rmat-8-16", "threads": 2, "arm": "reuse", "runs": 3,
+        "end_to_end_secs": {"min": 0.9, "median": 1.0, "max": 1.2},
+        "score_secs": 0.1, "match_secs": 0.2, "contract_secs": 0.3,
+        "levels": 5, "modularity": 0.4, "input_edges_per_sec": 1e6,
+        "peak_rss_bytes": 1048576, "allocations": null
+      }],
+      "quality": [{
+        "instance": "planted-1024-16", "backend": "labelprop", "modularity": 0.88,
+        "coverage": 0.94, "nmi": 0.99, "reference_modularity": 0.88
+      }, {
+        "instance": "rmat-10-16", "backend": "labelprop", "modularity": 0.35,
+        "coverage": 0.91, "nmi": null, "reference_modularity": 0.36
+      }]
+    }"#;
+
     #[test]
     fn parses_and_validates_good_report() {
         let report = validate_report(&parse_json(GOOD).unwrap()).unwrap();
@@ -970,6 +1140,7 @@ mod tests {
     fn thread_mismatch_warns_only_on_real_differences() {
         let mk = |ap: u64, rt: Option<u64>| Report {
             cells: Vec::new(),
+            quality: Vec::new(),
             available_parallelism: ap,
             rayon_threads: rt,
         };
@@ -1076,6 +1247,76 @@ mod tests {
         assert!(sharded_overhead_ok(&cells, Some(1.002), true));
         assert!(sharded_speedup_ok(&cells[2..], Some(1.6), false));
         assert!(sharded_overhead_ok(&cells[..2], Some(1.002), false));
+    }
+
+    #[test]
+    fn v3_reports_parse_quality_and_older_schemas_stay_loadable() {
+        let report = validate_report(&parse_json(GOOD_V3).unwrap()).unwrap();
+        assert_eq!(report.quality.len(), 2);
+        assert_eq!(report.quality[0].backend, "labelprop");
+        assert_eq!(report.quality[0].nmi, Some(0.99));
+        assert_eq!(report.quality[1].nmi, None);
+        assert_eq!(report.quality[1].reference_modularity, 0.36);
+        // v2 reports carry no quality section and still load...
+        let v2 = validate_report(&parse_json(GOOD).unwrap()).unwrap();
+        assert!(v2.quality.is_empty());
+        // ...but a v3 report without the section is malformed...
+        let missing = GOOD.replace("parcomm-bench-v2", "parcomm-bench-v3");
+        assert!(validate_report(&parse_json(&missing).unwrap())
+            .unwrap_err()
+            .contains("quality"));
+        // ...as is one whose section is empty (nothing to certify), has a
+        // non-numeric NMI, or a non-positive reference.
+        let empty =
+            GOOD_V3.replace("\"quality\": [{", "\"quality\": [], \"quality_ignored\": [{");
+        assert!(validate_report(&parse_json(&empty).unwrap())
+            .unwrap_err()
+            .contains("empty"));
+        let bad_nmi = GOOD_V3.replace("\"nmi\": 0.99", "\"nmi\": \"high\"");
+        assert!(validate_report(&parse_json(&bad_nmi).unwrap())
+            .unwrap_err()
+            .contains("nmi"));
+        let bad_ref = GOOD_V3.replace("\"reference_modularity\": 0.36", "\"reference_modularity\": 0");
+        assert!(validate_report(&parse_json(&bad_ref).unwrap())
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn quality_gate_pools_per_backend_and_enforces_nmi_floor() {
+        let mk = |instance: &str, backend: &str, q: f64, nmi: Option<f64>, reference: f64| {
+            QualityCell {
+                instance: instance.into(),
+                backend: backend.into(),
+                modularity: q,
+                nmi,
+                reference_modularity: reference,
+            }
+        };
+        // labelprop holds geomean(1.0, 0.96) ~ 0.98 of the reference;
+        // louvain only geomean(1.0, 0.80) ~ 0.89.
+        let cells = vec![
+            mk("planted", "labelprop", 0.88, Some(1.0), 0.88),
+            mk("rmat", "labelprop", 0.96, None, 1.0),
+            mk("planted", "louvain", 0.88, Some(1.0), 0.88),
+            mk("rmat", "louvain", 0.80, None, 1.0),
+        ];
+        assert!(quality_ok(&cells, None));
+        assert!(quality_ok(&cells, Some(0.85)));
+        // The gate pools per backend: louvain's weak cell fails a 0.95
+        // floor even though labelprop clears it...
+        assert!(!quality_ok(&cells, Some(0.95)));
+        // ...and labelprop alone passes the same floor.
+        assert!(quality_ok(&cells[..2], Some(0.95)));
+        // The NMI floor binds only when the flag is set, and only on
+        // cells with planted ground truth — here the modularity ratio is
+        // a perfect 1.0, so NMI is the sole failure.
+        let low_nmi = vec![mk("planted", "labelprop", 0.88, Some(0.5), 0.88)];
+        assert!(quality_ok(&low_nmi, None));
+        assert!(!quality_ok(&low_nmi, Some(0.85)));
+        // An empty quality section cannot certify what the flag asks for.
+        assert!(quality_ok(&[], None));
+        assert!(!quality_ok(&[], Some(0.85)));
     }
 
     #[test]
